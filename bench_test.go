@@ -1,0 +1,99 @@
+package polardb_test
+
+import (
+	"testing"
+
+	"polardb/internal/bench"
+)
+
+// One benchmark per figure of the paper's evaluation section. Each runs
+// the figure's full harness once per b.N iteration (they are macro
+// benchmarks: a run builds a cluster, loads a workload, measures, and
+// tears down) and reports the figure's headline metric. cmd/polarbench
+// prints the complete series.
+
+func runFigure(b *testing.B, fn func(bench.Scale) (*bench.Result, error)) *bench.Result {
+	b.Helper()
+	var last *bench.Result
+	for i := 0; i < b.N; i++ {
+		r, err := fn(bench.Scale{Small: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	return last
+}
+
+// firstLast reports a series' first and last Y values as benchmark metrics.
+func report(b *testing.B, r *bench.Result, metric string, v float64) {
+	b.ReportMetric(v, metric)
+	b.Logf("%s", r.Summary())
+}
+
+// BenchmarkFig08Elasticity regenerates Figure 8 (throughput while the
+// remote memory pool scales 8->80->48->128 GBeq live).
+func BenchmarkFig08Elasticity(b *testing.B) {
+	r := runFigure(b, bench.Fig08)
+	qps := r.Series[0].Points
+	report(b, r, "final_qps", qps[len(qps)-1].Y)
+}
+
+// BenchmarkFig09Failover regenerates Figure 9 (recovery timelines:
+// planned switch / remote memory / page-mat only / no page-mat).
+func BenchmarkFig09Failover(b *testing.B) {
+	r := runFigure(b, bench.Fig09)
+	report(b, r, "variants", float64(len(r.Series)))
+	for _, n := range r.Notes {
+		b.Log(n)
+	}
+}
+
+// BenchmarkFig10aTPCC regenerates Figure 10(a) (TPC-C tpmC, Serverless vs
+// PolarDB under three memory configurations).
+func BenchmarkFig10aTPCC(b *testing.B) {
+	r := runFigure(b, bench.Fig10a)
+	report(b, r, "serverless_cfg2_tpmC", r.Series[0].Points[1].Y)
+}
+
+// BenchmarkFig10bTPCH regenerates Figure 10(b) (TPC-H latency,
+// Serverless vs PolarDB).
+func BenchmarkFig10bTPCH(b *testing.B) {
+	r := runFigure(b, bench.Fig10b)
+	report(b, r, "series", float64(len(r.Series)))
+}
+
+// BenchmarkFig11LocalMemorySweep regenerates Figure 11 (throughput and
+// pages swapped vs local memory size; uniform, skewed, TPC-C panels).
+func BenchmarkFig11LocalMemorySweep(b *testing.B) {
+	r := runFigure(b, bench.Fig11)
+	report(b, r, "panels", float64(len(r.Series))/2)
+}
+
+// BenchmarkFig12LocalCacheTPCH regenerates Figure 12 (TPC-H latency vs
+// local cache size).
+func BenchmarkFig12LocalCacheTPCH(b *testing.B) {
+	r := runFigure(b, bench.Fig12)
+	report(b, r, "cache_sizes", float64(len(r.Series)))
+}
+
+// BenchmarkFig13RemoteMemoryTPCH regenerates Figure 13 (TPC-H latency vs
+// remote memory size).
+func BenchmarkFig13RemoteMemoryTPCH(b *testing.B) {
+	r := runFigure(b, bench.Fig13)
+	report(b, r, "pool_sizes", float64(len(r.Series)))
+}
+
+// BenchmarkFig14OptimisticLocking regenerates Figure 14 (Olock vs Plock
+// read throughput under growing concurrency).
+func BenchmarkFig14OptimisticLocking(b *testing.B) {
+	r := runFigure(b, bench.Fig14)
+	report(b, r, "series", float64(len(r.Series)))
+}
+
+// BenchmarkFig15BKPPrefetch regenerates Figure 15 (Batched Key PrePare
+// prefetching on remote memory and on storage).
+func BenchmarkFig15BKPPrefetch(b *testing.B) {
+	r := runFigure(b, bench.Fig15)
+	report(b, r, "series", float64(len(r.Series)))
+}

@@ -1,0 +1,71 @@
+// polarbench regenerates the figures of the paper's evaluation section
+// (§6). Each figure gets its own harness in internal/bench; this command
+// runs one or all of them and prints the same series the paper plots.
+//
+// Usage:
+//
+//	polarbench -fig 9            # one figure (8, 9, 10a, 10b, 11..15)
+//	polarbench -all              # every figure
+//	polarbench -all -full        # larger datasets (closer to paper ratios)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"polardb/internal/bench"
+)
+
+var figures = []struct {
+	id  string
+	fn  func(bench.Scale) (*bench.Result, error)
+	doc string
+}{
+	{"8", bench.Fig08, "elasticity: QPS while scaling remote memory 8->80->48->128 GBeq"},
+	{"9", bench.Fig09, "failover: recovery timelines across four regimes"},
+	{"10a", bench.Fig10a, "TPC-C tpmC: Serverless vs PolarDB, three memory configs"},
+	{"10b", bench.Fig10b, "TPC-H latency: Serverless vs PolarDB"},
+	{"11", bench.Fig11, "mixed r/w QPS + pages swapped vs local memory size"},
+	{"12", bench.Fig12, "TPC-H latency vs local cache size"},
+	{"13", bench.Fig13, "TPC-H latency vs remote memory size"},
+	{"14", bench.Fig14, "optimistic vs pessimistic PL locking"},
+	{"15", bench.Fig15, "BKP prefetching on remote memory / storage"},
+}
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate (8, 9, 10a, 10b, 11, 12, 13, 14, 15)")
+	all := flag.Bool("all", false, "run every figure")
+	full := flag.Bool("full", false, "full scale (slower, closer to the paper's ratios)")
+	flag.Parse()
+
+	sc := bench.Scale{Small: !*full}
+	if !*all && *fig == "" {
+		fmt.Fprintln(os.Stderr, "usage: polarbench -fig <id> | -all [-full]")
+		fmt.Fprintln(os.Stderr, "figures:")
+		for _, f := range figures {
+			fmt.Fprintf(os.Stderr, "  %-4s %s\n", f.id, f.doc)
+		}
+		os.Exit(2)
+	}
+	failed := false
+	for _, f := range figures {
+		if !*all && f.id != *fig {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running figure %s (%s)...\n", f.id, f.doc)
+		t0 := time.Now()
+		r, err := f.fn(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s failed: %v\n", f.id, err)
+			failed = true
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "figure %s done in %v\n", f.id, time.Since(t0).Round(time.Millisecond))
+		r.Print(os.Stdout)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

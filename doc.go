@@ -1,0 +1,9 @@
+// Package polardb is a from-scratch Go reproduction of "PolarDB
+// Serverless: A Cloud Native Database for Disaggregated Data Centers"
+// (Cao et al., SIGMOD 2021).
+//
+// Use pkg/polar for the public API; see README.md for the architecture,
+// DESIGN.md for the system inventory and experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results. The root-level
+// bench_test.go exposes one testing.B benchmark per paper figure.
+package polardb

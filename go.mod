@@ -1,0 +1,3 @@
+module polardb
+
+go 1.22

@@ -1,0 +1,279 @@
+// Package bench regenerates every figure of the paper's evaluation
+// (§6): the workload generators, parameter sweeps, baselines and
+// measurement harnesses behind Figures 8-15. Each FigN function returns a
+// Result whose series mirror the figure's axes; Print renders the same
+// rows the paper plots.
+//
+// Absolute numbers differ from the paper's (the substrate is a simulated
+// fabric at MB scale, not a 32-machine RDMA cluster) — the reproduction
+// targets the *shape*: who wins, by roughly what factor, and where the
+// crossovers fall. EXPERIMENTS.md records paper-vs-measured per figure.
+//
+// Scaling rule used throughout: the paper's 1 GB ≈ 64 of our 4 KiB pages
+// (so a "0.5 GB local / 4 GB remote" config becomes 32 / 256 pages), and
+// dataset sizes are chosen to preserve each experiment's ratio of working
+// set to the memory tiers.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polardb/internal/btree"
+	"polardb/internal/cluster"
+	"polardb/internal/rdma"
+	"polardb/internal/txn"
+)
+
+// GBPages converts the paper's GB figures into simulated pages.
+func GBPages(gb float64) int {
+	p := int(gb * 64)
+	if p < 8 {
+		p = 8
+	}
+	return p
+}
+
+// Result is one regenerated figure.
+type Result struct {
+	ID     string
+	Title  string
+	Series []Series
+	Notes  []string
+}
+
+// Series is one line/bar group of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one measurement. Label is used for categorical X axes (query
+// names, configurations); X for numeric axes (time, memory size, threads).
+type Point struct {
+	Label string
+	X     float64
+	Y     float64
+}
+
+// Print renders the result as aligned text tables.
+func (r *Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "=== %s: %s ===\n", r.ID, r.Title)
+	// Categorical if any label set.
+	categorical := false
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if p.Label != "" {
+				categorical = true
+			}
+		}
+	}
+	if categorical {
+		// Rows = labels, columns = series.
+		labels := []string{}
+		seen := map[string]bool{}
+		for _, s := range r.Series {
+			for _, p := range s.Points {
+				if !seen[p.Label] {
+					seen[p.Label] = true
+					labels = append(labels, p.Label)
+				}
+			}
+		}
+		fmt.Fprintf(w, "%-24s", "")
+		for _, s := range r.Series {
+			fmt.Fprintf(w, "%20s", s.Name)
+		}
+		fmt.Fprintln(w)
+		for _, l := range labels {
+			fmt.Fprintf(w, "%-24s", l)
+			for _, s := range r.Series {
+				v, ok := lookup(s, l)
+				if ok {
+					fmt.Fprintf(w, "%20.2f", v)
+				} else {
+					fmt.Fprintf(w, "%20s", "-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	} else {
+		for _, s := range r.Series {
+			fmt.Fprintf(w, "-- %s\n", s.Name)
+			for _, p := range s.Points {
+				fmt.Fprintf(w, "   x=%-12.2f y=%.2f\n", p.X, p.Y)
+			}
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func lookup(s Series, label string) (float64, bool) {
+	for _, p := range s.Points {
+		if p.Label == label {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Summary returns a one-line digest (first/last point per series).
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", r.ID)
+	for _, s := range r.Series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, " %s[%0.1f..%0.1f]", s.Name, s.Points[0].Y, s.Points[len(s.Points)-1].Y)
+	}
+	return b.String()
+}
+
+// Scale selects experiment sizes. Small keeps every figure under ~1 min
+// for the go-test bench harness; Full approaches the paper's ratios more
+// closely (cmd/polarbench -full).
+type Scale struct {
+	Small bool
+}
+
+// benchFabric is the latency profile used for all measurements. Relative
+// costs follow the RoCEv2 hierarchy; storage is two orders of magnitude
+// above remote memory.
+func benchFabric() rdma.Config {
+	cfg := rdma.DefaultConfig()
+	return cfg
+}
+
+// launch builds a measurement cluster.
+func launch(cfg cluster.Config) (*cluster.Cluster, error) {
+	if cfg.Fabric.TimeScale == 0 {
+		cfg.Fabric = benchFabric()
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = time.Hour // benches drive failover manually
+	}
+	return cluster.Launch(cfg)
+}
+
+// runQPS drives fn from `workers` sessions for dur and returns completed
+// ops/second.
+func runQPS(c *cluster.Cluster, workers int, dur time.Duration, fn func(*cluster.Session, *rand.Rand) error) (float64, error) {
+	var ops atomic.Uint64
+	var firstErr atomic.Value
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			s := c.Proxy.Connect()
+			defer s.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := fn(s, rng); err != nil {
+					firstErr.Store(err)
+					return
+				}
+				ops.Add(1)
+			}
+		}(int64(w) + 1)
+	}
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return 0, err
+	}
+	return float64(ops.Load()) / dur.Seconds(), nil
+}
+
+// qpsWindows samples completed-op counts in fixed windows while fn loops,
+// until stopAt elapses; returns per-window QPS.
+type windowedLoad struct {
+	ops    atomic.Uint64
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	errors atomic.Uint64
+}
+
+// startLoad launches looping workers; callers sample ops with snapshots.
+func startLoad(c *cluster.Cluster, workers int, fn func(*cluster.Session, *rand.Rand) error) *windowedLoad {
+	l := &windowedLoad{stop: make(chan struct{})}
+	for w := 0; w < workers; w++ {
+		l.wg.Add(1)
+		go func(seed int64) {
+			defer l.wg.Done()
+			s := c.Proxy.Connect()
+			defer s.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-l.stop:
+					return
+				default:
+				}
+				if err := fn(s, rng); err != nil {
+					l.errors.Add(1)
+					// Transient failures during failover: back off briefly
+					// and keep going (clients retry).
+					select {
+					case <-l.stop:
+						return
+					case <-time.After(2 * time.Millisecond):
+					}
+					continue
+				}
+				l.ops.Add(1)
+			}
+		}(int64(w) + 1)
+	}
+	return l
+}
+
+func (l *windowedLoad) snapshot() uint64 { return l.ops.Load() }
+
+func (l *windowedLoad) halt() {
+	close(l.stop)
+	l.wg.Wait()
+}
+
+// medianOf returns the median of samples.
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	return ys[len(ys)/2]
+}
+
+// ignorable reports errors that a benchmark loop should treat as an
+// aborted-and-retried transaction rather than a harness failure (TPC-C
+// expects lock-timeout aborts under contention).
+func ignorable(err error) bool {
+	return errors.Is(err, txn.ErrLockTimeout)
+}
+
+// roMode maps a friendly name to the traversal mode.
+func roMode(pessimistic bool) btree.TraverseMode {
+	if pessimistic {
+		return btree.PessimisticS
+	}
+	return btree.Optimistic
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// Smoke tests: every figure harness runs end to end at Small scale and
+// produces plausible series. (The root bench_test.go exposes them as
+// testing.B benchmarks; these guard against regressions in go test runs.)
+// They are skipped in -short mode: each takes tens of seconds.
+
+func runFig(t *testing.T, fn func(Scale) (*Result, error), minSeries int) *Result {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("figure smoke tests skipped in -short mode")
+	}
+	r, err := fn(Scale{Small: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) < minSeries {
+		t.Fatalf("%s: %d series, want >= %d", r.ID, len(r.Series), minSeries)
+	}
+	for _, s := range r.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("%s series %s empty", r.ID, s.Name)
+		}
+	}
+	r.Print(os.Stdout)
+	return r
+}
+
+func TestFig08Smoke(t *testing.T) { runFig(t, Fig08, 2) }
+func TestFig09Smoke(t *testing.T) { runFig(t, Fig09, 4) }
+func TestFig10aSmoke(t *testing.T) {
+	r := runFig(t, Fig10a, 2)
+	// Shape assertion: serverless wins the middle config.
+	sv, pb := r.Series[0], r.Series[1]
+	if sv.Points[1].Y <= pb.Points[1].Y {
+		t.Logf("warning: serverless (%0.0f) did not beat PolarDB (%0.0f) in config 2",
+			sv.Points[1].Y, pb.Points[1].Y)
+	}
+}
+func TestFig10bSmoke(t *testing.T) { runFig(t, Fig10b, 3) }
+func TestFig11Smoke(t *testing.T)  { runFig(t, Fig11, 6) }
+func TestFig12Smoke(t *testing.T)  { runFig(t, Fig12, 3) }
+func TestFig13Smoke(t *testing.T)  { runFig(t, Fig13, 3) }
+func TestFig14Smoke(t *testing.T)  { runFig(t, Fig14, 4) }
+func TestFig15Smoke(t *testing.T)  { runFig(t, Fig15, 4) }

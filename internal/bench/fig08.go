@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"math/rand"
+	"time"
+
+	"polardb/internal/cluster"
+	"polardb/internal/workload"
+)
+
+// Fig08 reproduces Figure 8: throughput of sysbench read-only range
+// queries while the remote memory pool is scaled 8 GB -> 80 GB -> 48 GB
+// -> 128 GB live (scaled to pages by GBPages). After each expansion
+// throughput climbs gradually as new slabs warm; each shrink drops it
+// immediately as pages are evicted wholesale.
+func Fig08(sc Scale) (*Result, error) {
+	// Paper sizes (GB) mapped to slabs of 64 pages (= "1 GB").
+	sizesGB := []float64{8, 80, 48, 128}
+	phase := 2500 * time.Millisecond
+	rows := uint64(30000) // working set ≈ 90 GBeq > largest pool
+	workers := 8
+	if sc.Small {
+		phase = 1200 * time.Millisecond
+		rows = 12000
+		workers = 4
+	}
+
+	c, err := launch(cluster.Config{
+		RONodes:         1,
+		SlabPages:       64, // 1 "GB" per slab
+		MemorySlabs:     int(sizesGB[0]),
+		LocalCachePages: GBPages(1),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	sb := &workload.Sysbench{Rows: rows, Dist: workload.Uniform, RangeSize: 50}
+	if err := sb.Load(c); err != nil {
+		return nil, err
+	}
+
+	load := startLoad(c, workers, func(s *cluster.Session, rng *rand.Rand) error {
+		_, err := sb.RangeTxn(s, rng)
+		return err
+	})
+	defer load.halt()
+
+	res := &Result{ID: "fig08", Title: "throughput while scaling remote memory 8->80->48->128 GBeq"}
+	qps := Series{Name: "QPS"}
+	capacity := Series{Name: "pool GBeq"}
+
+	window := 100 * time.Millisecond
+	t0 := time.Now()
+	sample := func(until time.Duration, gb float64) {
+		last := load.snapshot()
+		for time.Since(t0) < until {
+			time.Sleep(window)
+			cur := load.snapshot()
+			qps.Points = append(qps.Points, Point{
+				X: time.Since(t0).Seconds(),
+				Y: float64(cur-last) / window.Seconds(),
+			})
+			capacity.Points = append(capacity.Points, Point{
+				X: time.Since(t0).Seconds(),
+				Y: gb,
+			})
+			last = cur
+		}
+	}
+	sample(phase, sizesGB[0])
+	// Scale out to 80 GBeq.
+	if _, err := c.GrowMemory(int(sizesGB[1] - sizesGB[0])); err != nil {
+		return nil, err
+	}
+	sample(2*phase, sizesGB[1])
+	// Scale in to 48 GBeq: slabs and pages removed at once.
+	if _, err := c.ShrinkMemory(int(sizesGB[2]) * 64); err != nil {
+		return nil, err
+	}
+	sample(3*phase, sizesGB[2])
+	// Scale out to 128 GBeq.
+	cur := c.Home.TotalSlots() / 64
+	if _, err := c.GrowMemory(int(sizesGB[3]) - cur); err != nil {
+		return nil, err
+	}
+	sample(4*phase, sizesGB[3])
+
+	res.Series = []Series{qps, capacity}
+	res.Notes = append(res.Notes,
+		"expect: QPS ramps after each grow (slabs warm gradually); drops at the shrink, then recovers")
+	return res, nil
+}

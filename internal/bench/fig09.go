@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"polardb/internal/cluster"
+	"polardb/internal/workload"
+)
+
+// Fig09 reproduces Figure 9: throughput timeline of an RW switch under
+// four regimes — planned switch, unplanned crash with the remote memory
+// pool, unplanned crash with page materialization only (no remote
+// memory), and unplanned crash without page materialization (single-node
+// redo replay from the last page flush — the monolithic baseline). The
+// paper's headline: the last regime takes 5.3x longer to resume service.
+func Fig09(sc Scale) (*Result, error) {
+	warm := 1500 * time.Millisecond
+	rows := uint64(20000)
+	workers := 4
+	if sc.Small {
+		warm = 1000 * time.Millisecond
+		rows = 12000
+	}
+
+	type variant struct {
+		name        string
+		remoteMem   bool
+		traditional bool
+		run         func(c *cluster.Cluster) error
+	}
+	variants := []variant{
+		{"planned switch", true, false, func(c *cluster.Cluster) error { return c.CM.SwitchOver() }},
+		{"with remote memory", true, false, func(c *cluster.Cluster) error {
+			c.Proxy.RWNodeKill()
+			return c.CM.Failover(false)
+		}},
+		{"with page mat. only", false, false, func(c *cluster.Cluster) error {
+			c.Proxy.RWNodeKill()
+			return c.CM.Failover(false)
+		}},
+		{"w/o page mat.", false, true, func(c *cluster.Cluster) error {
+			c.Proxy.RWNodeKill()
+			return c.CM.FailoverTraditional()
+		}},
+	}
+
+	res := &Result{ID: "fig09", Title: "recovery timeline after RW switch/crash (QPS per window)"}
+	for _, v := range variants {
+		series, ttfs, ttr, err := fig09Variant(v.remoteMem, v.traditional, v.run, warm, rows, workers, v.name)
+		if err != nil {
+			return nil, fmt.Errorf("fig09 %s: %w", v.name, err)
+		}
+		res.Series = append(res.Series, series)
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"%-22s time-to-first-txn=%6.0fms  time-to-90%%=%6.0fms", v.name,
+			ttfs.Seconds()*1000, ttr.Seconds()*1000))
+	}
+	return res, nil
+}
+
+func fig09Variant(remoteMem, traditional bool, doSwitch func(*cluster.Cluster) error,
+	warm time.Duration, rows uint64, workers int, name string,
+) (Series, time.Duration, time.Duration, error) {
+	cfg := cluster.Config{
+		RONodes:            1,
+		MemorySlabs:        24,
+		SlabPages:          256,
+		LocalCachePages:    256, // holds the hot set; the pool holds everything
+		NoRemoteMemory:     !remoteMem,
+		CheckpointInterval: 200 * time.Millisecond,
+	}
+	if traditional {
+		// A traditional engine has no continuous materialization: redo
+		// accumulates since the last (rare) checkpoint, and recovery must
+		// replay all of it on one node before serving.
+		cfg.CheckpointInterval = 0
+	}
+	c, err := launch(cfg)
+	if err != nil {
+		return Series{}, 0, 0, err
+	}
+	defer c.Close()
+	sb := &workload.Sysbench{Rows: rows, Dist: workload.Skewed, RangeSize: 20, PayloadSize: 96}
+	if err := sb.Load(c); err != nil {
+		return Series{}, 0, 0, err
+	}
+
+	// The load records the first successful transaction after the switch
+	// completed (time-to-resume-service, the paper's headline metric).
+	var stateMu sync.Mutex
+	var crashAt time.Time
+	var firstOK time.Time
+	switchDone := false
+	load := startLoad(c, workers, func(s *cluster.Session, rng *rand.Rand) error {
+		_, err := sb.ReadWriteTxn(s, rng)
+		if err == nil {
+			stateMu.Lock()
+			if switchDone && firstOK.IsZero() {
+				firstOK = time.Now()
+			}
+			stateMu.Unlock()
+		}
+		return err
+	})
+	defer load.halt()
+
+	window := 50 * time.Millisecond
+	series := Series{Name: name}
+	var preQPS []float64
+	t0 := time.Now()
+	last := load.snapshot()
+	for time.Since(t0) < warm {
+		time.Sleep(window)
+		cur := load.snapshot()
+		q := float64(cur-last) / window.Seconds()
+		preQPS = append(preQPS, q)
+		series.Points = append(series.Points, Point{X: time.Since(t0).Seconds(), Y: q})
+		last = cur
+	}
+	peak := medianOf(preQPS)
+
+	// The switch/crash.
+	stateMu.Lock()
+	crashAt = time.Now()
+	stateMu.Unlock()
+	switchErr := make(chan error, 1)
+	go func() {
+		err := doSwitch(c)
+		stateMu.Lock()
+		switchDone = true
+		stateMu.Unlock()
+		switchErr <- err
+	}()
+
+	var ttRecover time.Duration
+	recovered := 0
+	deadline := time.Now().Add(90 * time.Second)
+	for time.Now().Before(deadline) {
+		time.Sleep(window)
+		cur := load.snapshot()
+		q := float64(cur-last) / window.Seconds()
+		series.Points = append(series.Points, Point{X: time.Since(t0).Seconds(), Y: q})
+		last = cur
+		if q >= 0.9*peak {
+			recovered++
+			if recovered >= 3 && ttRecover == 0 {
+				ttRecover = time.Since(crashAt)
+				break
+			}
+		} else {
+			recovered = 0
+		}
+	}
+	if err := <-switchErr; err != nil {
+		return series, 0, ttRecover, err
+	}
+	if ttRecover == 0 {
+		ttRecover = time.Since(crashAt)
+	}
+	stateMu.Lock()
+	ttFirst := time.Duration(0)
+	if !firstOK.IsZero() {
+		ttFirst = firstOK.Sub(crashAt)
+	}
+	stateMu.Unlock()
+	return series, ttFirst, ttRecover, nil
+}

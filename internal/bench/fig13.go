@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"polardb/internal/cluster"
+	"polardb/internal/workload"
+)
+
+// Fig13 reproduces Figure 13: TPC-H query latency with the *remote* pool
+// swept 32 GB -> 256 GB and the local cache pinned small (8 GB). With a
+// small pool most misses continue to storage; once the pool holds the
+// working set they stop at remote memory — the paper reports ~3x average
+// speedup for two-thirds of the queries, with the short dimension-table
+// queries (Q2, Q11, Q16) insensitive.
+func Fig13(sc Scale) (*Result, error) {
+	// The paper sweeps 32-256 GB against a 200 GB dataset (the smallest
+	// pool holds ~16% of it). We preserve that *ratio*: the scaled dataset
+	// is ~17 GBeq, so the sweep runs 4-32 GBeq.
+	sizesGB := []float64{4, 8, 16, 32}
+	queries := []string{"Q2", "Q4", "Q5", "Q8", "Q10", "Q11", "Q12", "Q14",
+		"Q15", "Q16", "Q17", "Q18", "Q19"}
+	sf := 8
+	if sc.Small {
+		sizesGB = []float64{4, 16, 32}
+		queries = []string{"Q2", "Q5", "Q10", "Q12", "Q18"}
+		sf = 4
+	}
+	res := &Result{ID: "fig13", Title: fmt.Sprintf("TPC-H latency vs remote memory size (SF-lite=%d, LM=1GBeq; pool/dataset ratio matches the paper)", sf)}
+
+	for _, gb := range sizesGB {
+		c, err := launch(cluster.Config{
+			RONodes:            0,
+			LocalCachePages:    GBPages(1),
+			SlabPages:          64, // 1 GBeq slabs
+			MemorySlabs:        int(gb),
+			CheckpointInterval: 200 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		h := &workload.TPCH{SF: sf}
+		if err := h.Load(c); err != nil {
+			c.Close()
+			return nil, err
+		}
+		s := c.Proxy.Connect()
+		series := Series{Name: fmt.Sprintf("RM %g GBeq", gb)}
+		for _, q := range queries {
+			// Warm the pool (not the local cache) then measure.
+			if _, err := h.Run(q, s, workload.QueryOpts{}); err != nil {
+				s.Close()
+				c.Close()
+				return nil, fmt.Errorf("%s warm: %w", q, err)
+			}
+			c.RW.Engine.Cache().EvictAll()
+			t0 := time.Now()
+			if _, err := h.Run(q, s, workload.QueryOpts{}); err != nil {
+				s.Close()
+				c.Close()
+				return nil, fmt.Errorf("%s: %w", q, err)
+			}
+			series.Points = append(series.Points, Point{Label: q, Y: time.Since(t0).Seconds() * 1000})
+		}
+		s.Close()
+		c.Close()
+		res.Series = append(res.Series, series)
+	}
+	res.Notes = append(res.Notes,
+		"expect: scan/join queries speed up ~2-3x as the pool absorbs the working set;",
+		"Q2/Q11/Q16 (small dimension scans) stay flat")
+	return res, nil
+}

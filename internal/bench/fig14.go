@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"polardb/internal/cluster"
+	"polardb/internal/workload"
+)
+
+// Fig14 reproduces Figure 14: total read throughput with optimistic
+// (Olock) vs pessimistic (Plock) global page latching on the RO node, as
+// client concurrency grows 32 -> 128 threads. The proxy sends writes to
+// the RW and balances reads; under Plock every RO page visit takes a
+// global S latch (RDMA CAS + contention with the writer's sticky X
+// latches), so its throughput collapses at high concurrency while Olock
+// only pays SMO-retry costs.
+func Fig14(sc Scale) (*Result, error) {
+	threads := []int{32, 64, 96, 128}
+	dur := 1200 * time.Millisecond
+	rows := uint64(8000)
+	if sc.Small {
+		threads = []int{16, 48, 96}
+		dur = 800 * time.Millisecond
+		rows = 5000
+	}
+	res := &Result{ID: "fig14", Title: "read QPS: optimistic vs pessimistic PL locking"}
+	for _, dist := range []workload.Distribution{workload.Uniform, workload.Skewed} {
+		for _, pess := range []bool{false, true} {
+			name := dist.String() + "-"
+			if pess {
+				name += "Plock"
+			} else {
+				name += "Olock"
+			}
+			series := Series{Name: name}
+			for _, n := range threads {
+				qps, err := fig14Run(rows, dist, pess, n, dur)
+				if err != nil {
+					return nil, fmt.Errorf("fig14 %s n=%d: %w", name, n, err)
+				}
+				series.Points = append(series.Points, Point{Label: fmt.Sprintf("%d threads", n), X: float64(n), Y: qps})
+			}
+			res.Series = append(res.Series, series)
+		}
+	}
+	res.Notes = append(res.Notes,
+		"expect: Plock loses a large share of QPS as threads grow; Olock stays near flat")
+	return res, nil
+}
+
+func fig14Run(rows uint64, dist workload.Distribution, pessimistic bool, threads int, dur time.Duration) (float64, error) {
+	cfg := cluster.Config{
+		RONodes:            1,
+		LocalCachePages:    GBPages(4),
+		SlabPages:          256,
+		MemorySlabs:        8,
+		ROMode:             roMode(pessimistic),
+		CheckpointInterval: 200 * time.Millisecond,
+	}
+	c, err := launch(cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	sb := &workload.Sysbench{Rows: rows, Dist: dist, RangeSize: 20, PayloadSize: 96}
+	if err := sb.Load(c); err != nil {
+		return 0, err
+	}
+	// One writer session keeps SMOs happening (inserting fresh keys), so
+	// PL latches are genuinely contended.
+	stopW := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		s := c.Proxy.Connect()
+		defer s.Close()
+		rng := rand.New(rand.NewSource(99))
+		k := rows
+		for {
+			select {
+			case <-stopW:
+				return
+			default:
+			}
+			_ = s.Exec(workload.TableName, cluster.OpPut, k, []byte("w"))
+			k++
+			_ = rng
+		}
+	}()
+	// Reader threads measure point-read throughput.
+	qps, err := runQPS(c, threads, dur, func(s *cluster.Session, rng *rand.Rand) error {
+		k := uint64(rng.Int63n(int64(rows)))
+		if dist == workload.Skewed && rng.Intn(100) < 95 {
+			k = uint64(rng.Int63n(int64(rows/20 + 1)))
+		}
+		_, _, err := s.Get(workload.TableName, k)
+		return err
+	})
+	close(stopW)
+	<-writerDone
+	return qps, err
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"polardb/internal/btree"
+	"polardb/internal/cluster"
+	"polardb/internal/rdma"
+	"polardb/internal/txn"
+	"polardb/internal/workload"
+)
+
+// TestTPCCStressConsistency hammers the TPC-C mix with a tiny local cache
+// (constant eviction + write-back + reload through the remote pool) and
+// fails on any anomaly. It is the regression test for the
+// eviction/reload interlock: without it, a page being written back could
+// be resurrected from stale storage, losing committed undo records.
+func TestTPCCStressConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	cfg := cluster.Config{
+		Fabric:             rdma.TestConfig(),
+		RONodes:            0,
+		LocalCachePages:    GBPages(0.5),
+		SlabPages:          256,
+		MemorySlabs:        8,
+		CheckpointInterval: 100 * time.Millisecond,
+		LockWait:           50 * time.Millisecond,
+		HeartbeatInterval:  time.Hour,
+	}
+	c, err := cluster.Launch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tp := &workload.TPCC{Warehouses: 2, Districts: 10, Customers: 100, Items: 3000}
+	if err := tp.Load(c); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var mu sync.Mutex
+	var anomaly error
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			s := c.Proxy.Connect()
+			defer s.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, err := tp.Mix(s, rng)
+				if err != nil && !ignorable(err) {
+					mu.Lock()
+					if anomaly == nil {
+						anomaly = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(int64(w))
+	}
+	time.Sleep(4 * time.Second)
+	close(stop)
+	wg.Wait()
+	if anomaly != nil {
+		// Forensics: dump the raw record of the key named in the error.
+		fmt.Printf("anomaly: %v\n", anomaly)
+		tbl, _ := c.RW.Engine.OpenTable(workload.TStock)
+		// Try a few raw reads around the whole stock range.
+		for w := 1; w <= 2; w++ {
+			for i := 1; i <= 3000; i += 997 {
+				key := uint64(w)*1_000_000 + uint64(i)
+				raw, err := tbl.Primary.Get(key, btree.Local)
+				if err != nil {
+					fmt.Printf("raw get %d: %v\n", key, err)
+					continue
+				}
+				rec, _ := txn.UnmarshalRecord(raw)
+				fmt.Printf("key %d: trx=%d cts=%d undo=%d/%d tomb=%v len=%d\n",
+					key, rec.Trx, rec.CTS, rec.UndoPage, rec.UndoOff, rec.Tombstone, len(rec.Payload))
+			}
+		}
+		t.Fatalf("anomaly: %v", anomaly)
+	}
+}

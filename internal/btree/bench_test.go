@@ -1,0 +1,96 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the index layer in isolation (memStore backend,
+// no fabric costs): raw traversal and mutation throughput, plus the
+// optimistic-vs-pessimistic read ablation at the tree level.
+
+func benchTree(b *testing.B, n int) (*Tree, *memStore) {
+	b.Helper()
+	s := newMemStore()
+	tr, err := Create(s, &memMtr{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := &memMtr{}
+	for k := 0; k < n; k++ {
+		if err := tr.Insert(m, uint64(k), []byte(fmt.Sprintf("value-%d", k))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tr, s
+}
+
+func BenchmarkTreeGet(b *testing.B) {
+	tr, _ := benchTree(b, 100_000)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Get(uint64(rng.Intn(100_000)), Local); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeGetPessimistic(b *testing.B) {
+	tr, _ := benchTree(b, 100_000)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Get(uint64(rng.Intn(100_000)), PessimisticS); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeGetOptimistic(b *testing.B) {
+	tr, _ := benchTree(b, 100_000)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Get(uint64(rng.Intn(100_000)), Optimistic); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeInsertSequential(b *testing.B) {
+	tr, _ := benchTree(b, 0)
+	m := &memMtr{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(m, uint64(i), []byte("sequential-value")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeInsertRandom(b *testing.B) {
+	tr, _ := benchTree(b, 0)
+	m := &memMtr{}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Put(m, rng.Uint64(), []byte("random-value")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeScan100(b *testing.B) {
+	tr, _ := benchTree(b, 100_000)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := uint64(rng.Intn(99_000))
+		n := 0
+		if err := tr.Scan(start, start+100, Local, func(KV) bool { n++; return true }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"fmt"
+
+	"polardb/internal/engine"
+	"polardb/internal/polarfs"
+	"polardb/internal/rdma"
+	"polardb/internal/rmem"
+)
+
+// DBNode is a database node (RW or RO): an engine plus its substrate
+// clients, rebuildable in place when the node changes role.
+type DBNode struct {
+	ID       rdma.NodeID
+	EP       *rdma.Endpoint
+	PFS      *polarfs.Client
+	Pool     *rmem.Pool
+	Engine   *engine.Engine
+	ReadOnly bool
+
+	cluster *Cluster
+}
+
+// promoteToRW turns this RO node into the RW (§5.1 step 2): the RO engine
+// is torn down and an RW engine is built on the same endpoint, substrate
+// clients and local state, then runs recovery. traditional selects the
+// single-node redo replay baseline instead of parallel REDO.
+func (n *DBNode) promoteToRW(oldRW rdma.NodeID, planned, traditional bool) error {
+	if !n.ReadOnly {
+		return fmt.Errorf("cluster: %s is already the RW", n.ID)
+	}
+	n.Engine.Close()
+	e, err := engine.NewRW(engine.Deps{EP: n.EP, PFS: n.PFS, Pool: n.Pool}, engine.Config{
+		LocalCachePages:    n.cluster.cfg.LocalCachePages,
+		CheckpointInterval: n.cluster.cfg.CheckpointInterval,
+		LockWait:           n.cluster.cfg.LockWait,
+	})
+	if err != nil {
+		return err
+	}
+	if traditional {
+		if _, err := e.RecoverTraditional(oldRW, 0); err != nil {
+			return err
+		}
+	} else if err := e.Recover(oldRW, planned); err != nil {
+		return err
+	}
+	n.Engine = e
+	n.ReadOnly = false
+	return nil
+}

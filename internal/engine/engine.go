@@ -1,0 +1,718 @@
+// Package engine implements the PolarDB Serverless database engine that
+// runs on RW and RO nodes: a record storage engine whose pages live in a
+// three-tier hierarchy — node-local cache, shared remote memory pool, and
+// PolarFS shared storage (§3).
+//
+// The engine is also the place where the paper's modification pipeline is
+// enforced:
+//
+//	modify pages in local cache (under latches, logged into an MTR)
+//	→ page_invalidate every modified page (§3.1.4)
+//	→ append the MTR's redo to the log buffer
+//	→ flusher persists redo to PolarFS log chunks (commit durability)
+//	→ shipper sends records to page chunks (materialization, Figure 7)
+//	→ only then may dirty pages be evicted anywhere in the hierarchy.
+//
+// Setting Deps.Pool to nil yields the classic shared-storage PolarDB
+// baseline (private buffer pool, same storage); the benchmark harness uses
+// that for the paper's PolarDB-vs-Serverless comparisons.
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polardb/internal/btree"
+	"polardb/internal/cache"
+	"polardb/internal/plog"
+	"polardb/internal/polarfs"
+	"polardb/internal/rdma"
+	"polardb/internal/rmem"
+	"polardb/internal/txn"
+	"polardb/internal/types"
+)
+
+// Reserved tablespaces.
+const (
+	// UndoSpace holds the transaction table (page 0) and undo records.
+	UndoSpace types.SpaceID = 1
+	// CatalogSpace holds the table catalog B+tree.
+	CatalogSpace types.SpaceID = 2
+	// FirstUserSpace is the first tablespace handed to user tables.
+	FirstUserSpace types.SpaceID = 16
+)
+
+// Errors surfaced by the engine.
+var (
+	ErrNotRW       = errors.New("engine: operation requires the RW node")
+	ErrClosed      = errors.New("engine: closed")
+	ErrNoSuchTable = errors.New("engine: no such table")
+	ErrTableExists = errors.New("engine: table already exists")
+	ErrKeyExists   = errors.New("engine: key already exists")
+	ErrKeyNotFound = errors.New("engine: key not found")
+	ErrStalePage   = errors.New("engine: could not obtain a fresh page copy")
+)
+
+// Deps wires an engine to its substrates.
+type Deps struct {
+	EP   *rdma.Endpoint
+	PFS  *polarfs.Client
+	Pool *rmem.Pool // nil = no remote memory (shared-storage baseline)
+}
+
+// Config tunes an engine instance.
+type Config struct {
+	// ReadOnly marks an RO node.
+	ReadOnly bool
+	// RWNode is the current RW node id (needed by RO nodes for the CTS
+	// region, read views and flush-page requests).
+	RWNode rdma.NodeID
+	// CTSRegionID is the RW node's CTS region (RO nodes).
+	CTSRegionID uint32
+	// CTSSlots sizes the CTS log.
+	CTSSlots int
+	// LocalCachePages sizes the node-local cache tier.
+	LocalCachePages int
+	// ROMode picks the RO traversal protocol: Optimistic (default,
+	// §4.1) or PessimisticS (Figure 14's Plock).
+	ROMode btree.TraverseMode
+	// LockWait bounds row lock waits.
+	LockWait time.Duration
+	// ShipInterval is the redo flusher/shipper idle tick.
+	ShipInterval time.Duration
+	// CheckpointInterval drives coverage sync + redo truncation (0 = off).
+	CheckpointInterval time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.LocalCachePages == 0 {
+		c.LocalCachePages = 1024
+	}
+	if c.LockWait == 0 {
+		c.LockWait = 2 * time.Second
+	}
+	if c.ShipInterval == 0 {
+		c.ShipInterval = 500 * time.Microsecond
+	}
+	if c.CTSSlots == 0 {
+		c.CTSSlots = txn.DefaultCTSSlots
+	}
+	if c.ROMode == 0 && c.ReadOnly {
+		c.ROMode = btree.Optimistic
+	}
+}
+
+// Engine is one database node's engine instance.
+type Engine struct {
+	cfg  Config
+	ep   *rdma.Endpoint
+	pfs  *polarfs.Client
+	pool *rmem.Pool
+
+	cache *cache.Cache
+
+	// RW-only state.
+	buf     *plog.Buffer
+	cts     *txn.Service
+	ctsReg  *rdma.Region
+	locks   *txn.LockTable
+	nextTrx atomic.Uint64
+
+	// RO-only state.
+	ctsCli *txn.Client
+
+	activeMu sync.Mutex
+	active   map[types.TrxID]*Txn
+
+	// Read-view horizon tracking for purge: local read-only views, plus a
+	// lease window covering views handed to RO nodes over RPC.
+	roViewsMu sync.Mutex
+	roViews   map[*Txn]types.Timestamp
+	roLeases  []roLease
+
+	slotMu    sync.Mutex
+	slotOwner map[int]types.TrxID
+
+	adoptedMu sync.Mutex
+	adopted   map[types.TrxID]*Txn
+
+	undoMu   sync.Mutex
+	undoPage types.PageNo
+	undoOff  uint16
+
+	flightMu sync.Mutex
+	flights  map[uint64]chan struct{}
+
+	treesMu sync.Mutex
+	trees   map[types.SpaceID]*btree.Tree
+
+	tablesMu sync.Mutex
+	tables   map[string]*Table
+
+	shippedMu   sync.Mutex
+	shippedLSN  types.LSN
+	shippedCond *sync.Cond
+	nudge       chan struct{}
+
+	backfillCh chan backfillItem
+
+	scanGuard atomic.Int32 // >0: storage misses skip remote-memory population
+
+	closed  atomic.Bool
+	closeCh chan struct{}
+	wg      sync.WaitGroup
+
+	stats EngineStats
+}
+
+// EngineStats counts engine-level events for the benchmark harness.
+type EngineStats struct {
+	Commits       atomic.Uint64
+	Aborts        atomic.Uint64
+	RemoteReads   atomic.Uint64 // pages fetched from remote memory
+	StorageReads  atomic.Uint64 // pages fetched from PolarFS
+	FlushRequests atomic.Uint64 // RO-triggered write-backs served
+}
+
+// NewRW creates the engine for the read-write node. Call Bootstrap (fresh
+// volume) or Recover (takeover) before serving transactions.
+func NewRW(deps Deps, cfg Config) (*Engine, error) {
+	cfg.ReadOnly = false
+	cfg.applyDefaults()
+	e := newEngine(deps, cfg)
+	e.ctsReg = deps.EP.RegisterRegion(txn.RegionSize(cfg.CTSSlots))
+	e.cts = txn.NewService(e.ctsReg, cfg.CTSSlots)
+	e.locks = txn.NewLockTable(cfg.LockWait)
+	e.ep.RegisterHandler("eng.flushpage", e.handleFlushPage)
+	e.ep.RegisterHandler(txn.ViewRPCMethod, e.handleViewRPC)
+	return e, nil
+}
+
+// NewRO creates the engine for a read-only node attached to cfg.RWNode.
+func NewRO(deps Deps, cfg Config) (*Engine, error) {
+	cfg.ReadOnly = true
+	cfg.applyDefaults()
+	e := newEngine(deps, cfg)
+	e.ctsCli = txn.NewClient(deps.EP, cfg.RWNode, cfg.CTSRegionID, cfg.CTSSlots)
+	e.start()
+	return e, nil
+}
+
+type roLease struct {
+	ts      types.Timestamp
+	expires time.Time
+}
+
+// roLeaseWindow is how long a view handed to an RO node holds back the
+// purge horizon (RO transactions are expected to be shorter than this).
+const roLeaseWindow = 10 * time.Second
+
+func newEngine(deps Deps, cfg Config) *Engine {
+	e := &Engine{
+		cfg:        cfg,
+		ep:         deps.EP,
+		pfs:        deps.PFS,
+		pool:       deps.Pool,
+		flights:    make(map[uint64]chan struct{}),
+		trees:      make(map[types.SpaceID]*btree.Tree),
+		tables:     make(map[string]*Table),
+		active:     make(map[types.TrxID]*Txn),
+		roViews:    make(map[*Txn]types.Timestamp),
+		slotOwner:  make(map[int]types.TrxID),
+		nudge:      make(chan struct{}, 1),
+		backfillCh: make(chan backfillItem, 4096),
+		closeCh:    make(chan struct{}),
+	}
+	e.shippedCond = sync.NewCond(&e.shippedMu)
+	e.cache = cache.New(cfg.LocalCachePages, e.onEvict)
+	if e.pool != nil {
+		e.pool.OnInvalidate(func(p types.PageID) { e.cache.Invalidate(p) })
+		e.pool.OnSlabFailure(func(pages []types.PageID) {
+			for _, p := range pages {
+				if f := e.cache.Get(p); f != nil {
+					f.Remote = cache.RemoteInfo{}
+					f.SetInvalid(true)
+					f.Unpin()
+				}
+			}
+		})
+	}
+	return e
+}
+
+// start launches background workers (RW: after bootstrap/recovery).
+func (e *Engine) start() {
+	if !e.cfg.ReadOnly {
+		e.wg.Add(2)
+		go e.shipper()
+		go e.backfillWorker()
+		if e.cfg.CheckpointInterval > 0 {
+			e.wg.Add(1)
+			go e.checkpointer()
+		}
+	}
+}
+
+// Close stops background workers. It does not flush state: use
+// PlannedHandover for a clean shutdown.
+func (e *Engine) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	close(e.closeCh)
+	e.wg.Wait()
+}
+
+// EP returns the node's fabric endpoint.
+func (e *Engine) EP() *rdma.Endpoint { return e.ep }
+
+// Cache returns the local cache (for stats).
+func (e *Engine) Cache() *cache.Cache { return e.cache }
+
+// Pool returns the remote memory client, or nil.
+func (e *Engine) Pool() *rmem.Pool { return e.pool }
+
+// Stats returns engine counters.
+func (e *Engine) Stats() *EngineStats { return &e.stats }
+
+// CTSRegionID returns the RW node's CTS region id (cluster wiring).
+func (e *Engine) CTSRegionID() uint32 {
+	if e.ctsReg == nil {
+		return 0
+	}
+	return e.ctsReg.ID()
+}
+
+// FlushedLSN returns the durable redo LSN (RW).
+func (e *Engine) FlushedLSN() types.LSN {
+	if e.buf == nil {
+		return 0
+	}
+	return e.buf.FlushedLSN()
+}
+
+// ResizeLocalCache changes the local cache tier's capacity live.
+func (e *Engine) ResizeLocalCache(pages int) error { return e.cache.Resize(pages) }
+
+// ScanGuard marks the start of a large scan: while any guard is active,
+// pages loaded from storage are NOT promoted into the remote memory pool,
+// so full-table scans do not pollute the shared cache (§3.1.3). Release
+// the guard with the returned func.
+func (e *Engine) ScanGuard() func() {
+	e.scanGuard.Add(1)
+	var once sync.Once
+	return func() { once.Do(func() { e.scanGuard.Add(-1) }) }
+}
+
+// ---------------------------------------------------------------------------
+// Page access (btree.Store implementation)
+
+// Fetch returns a pinned frame with the page's current contents, filling
+// the local cache from remote memory or storage on a miss.
+func (e *Engine) Fetch(id types.PageID) (*cache.Frame, error) {
+	for {
+		if f := e.cache.Get(id); f != nil {
+			if !f.Invalid() {
+				return f, nil
+			}
+			if err := e.refreshFrame(f); err != nil {
+				f.Unpin()
+				return nil, err
+			}
+			return f, nil
+		}
+		// A detached dirty frame may still be writing back (its write-back
+		// waits for redo shipping); loading from storage meanwhile would
+		// resurrect a stale image and lose those writes. Wait it out.
+		e.cache.WaitEvicting(id)
+		e.flightMu.Lock()
+		if ch, ok := e.flights[id.Key()]; ok {
+			e.flightMu.Unlock()
+			<-ch
+			continue
+		}
+		ch := make(chan struct{})
+		e.flights[id.Key()] = ch
+		e.flightMu.Unlock()
+
+		f, err := e.loadFrame(id)
+
+		e.flightMu.Lock()
+		delete(e.flights, id.Key())
+		close(ch)
+		e.flightMu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+}
+
+// Unpin releases a fetched frame.
+func (e *Engine) Unpin(f *cache.Frame) { f.Unpin() }
+
+// loadFrame fills a fresh frame through the memory hierarchy.
+func (e *Engine) loadFrame(id types.PageID) (*cache.Frame, error) {
+	f := &cache.Frame{ID: id, Data: make([]byte, types.PageSize)}
+	fromRemote := false
+	allocated := false
+	guarded := e.scanGuard.Load() > 0
+	if e.pool != nil {
+		var res rmem.RegisterResult
+		var err error
+		if guarded {
+			// Scan-pollution guard (§3.1.3): use the remote copy if one
+			// exists, but never allocate one for scan traffic.
+			res, err = e.pool.RegisterIfCached(id)
+			if err == nil && !res.Exists {
+				err = rmem.ErrOutOfMemory // storage-direct below, no pool refs
+			}
+		} else {
+			res, err = e.pool.Register(id)
+		}
+		switch {
+		case err == nil:
+			f.Remote = cache.RemoteInfo{Registered: true, Data: res.Data, PL: res.PL, PIB: res.PIB}
+			allocated = !res.Exists
+			if res.Exists {
+				if err := e.readRemoteFresh(f); err == nil {
+					fromRemote = true
+				} else if !errors.Is(err, ErrStalePage) {
+					_ = e.pool.Unregister(id)
+					return nil, err
+				}
+			}
+		case errors.Is(err, rmem.ErrOutOfMemory) || errors.Is(err, rmem.ErrMetaFull):
+			// Pool full: operate storage-direct for this page.
+		default:
+			return nil, err
+		}
+	}
+	if fromRemote {
+		e.stats.RemoteReads.Add(1)
+		f.NewestLSN = types.LSN(binary.LittleEndian.Uint64(f.Data[0:8]))
+		f.ShippedLSN = f.NewestLSN
+	} else {
+		data, lsn, exists, err := e.pfs.GetPage(id, polarfs.MaxLSN)
+		if err != nil {
+			if f.Remote.Registered {
+				_ = e.pool.Unregister(id)
+			}
+			return nil, err
+		}
+		e.stats.StorageReads.Add(1)
+		if exists {
+			copy(f.Data, data)
+		}
+		binary.LittleEndian.PutUint64(f.Data[0:8], uint64(lsn))
+		f.NewestLSN = lsn
+		f.ShippedLSN = lsn
+		if f.Remote.Registered {
+			// Populate the remote copy only when we allocated the remote
+			// page (nobody else references it) or we are the RW (the sole
+			// writer): an RO overwriting an existing remote page could
+			// race the RW's invalidate/write-back and clear a PIB bit the
+			// RW just set.
+			if allocated || !e.cfg.ReadOnly {
+				if err := e.pool.WritePage(f.Remote.Data, f.Data, f.Remote.PIB); err != nil {
+					_ = e.pool.Unregister(id)
+					f.Remote = cache.RemoteInfo{}
+				}
+			}
+		}
+	}
+	inserted, err := e.cache.Insert(f)
+	if err != nil {
+		if f.Remote.Registered {
+			_ = e.pool.Unregister(id)
+		}
+		return nil, err
+	}
+	if inserted != f && f.Remote.Registered {
+		// Lost a racing fill; drop our duplicate registration reference.
+		_ = e.pool.Unregister(id)
+	}
+	return inserted, nil
+}
+
+// readRemoteFresh reads the page from remote memory once its PIB bit is
+// clear, asking the RW node to write back its newer local copy if needed.
+func (e *Engine) readRemoteFresh(f *cache.Frame) error {
+	for attempt := 0; attempt < 10; attempt++ {
+		stale, err := e.pool.PIBStale(f.Remote.PIB)
+		if err != nil {
+			return err
+		}
+		if !stale {
+			return e.pool.ReadPage(f.Remote.Data, f.Data)
+		}
+		if !e.cfg.ReadOnly {
+			// We are the RW and do not hold the page locally: the stale
+			// bit is a leftover (e.g. a racing registration by an RO that
+			// has not populated data yet). Fall back to storage.
+			return ErrStalePage
+		}
+		ok, err := e.requestRWFlush(f.ID)
+		if err != nil || !ok {
+			return ErrStalePage // RW does not hold it: storage is current
+		}
+	}
+	return fmt.Errorf("%w: %s (PIB never cleared)", ErrStalePage, f.ID)
+}
+
+// requestRWFlush asks the RW node to write a page back to remote memory.
+// ok=false means the RW has no local copy (storage is authoritative).
+func (e *Engine) requestRWFlush(id types.PageID) (bool, error) {
+	req := make([]byte, 8)
+	binary.LittleEndian.PutUint32(req[0:], uint32(id.Space))
+	binary.LittleEndian.PutUint32(req[4:], uint32(id.No))
+	resp, err := e.ep.CallTimeout(e.cfg.RWNode, "eng.flushpage", req, 2*time.Second)
+	if err != nil {
+		return false, err
+	}
+	return len(resp) == 1 && resp[0] == 1, nil
+}
+
+// refreshFrame re-reads an invalidated local copy (RO path).
+func (e *Engine) refreshFrame(f *cache.Frame) error {
+	f.Latch.Lock()
+	defer f.Latch.Unlock()
+	if !f.Invalid() {
+		return nil // refreshed by a concurrent reader
+	}
+	if !f.Remote.Registered && e.pool != nil {
+		res, err := e.pool.Register(f.ID)
+		if err == nil {
+			f.Remote = cache.RemoteInfo{Registered: true, Data: res.Data, PL: res.PL, PIB: res.PIB}
+		}
+	}
+	if f.Remote.Registered {
+		if err := e.readRemoteFresh(f); err == nil {
+			e.stats.RemoteReads.Add(1)
+			f.NewestLSN = types.LSN(binary.LittleEndian.Uint64(f.Data[0:8]))
+			f.ShippedLSN = f.NewestLSN
+			f.SetInvalid(false)
+			return nil
+		} else if !errors.Is(err, ErrStalePage) {
+			return err
+		}
+	}
+	data, lsn, exists, err := e.pfs.GetPage(f.ID, polarfs.MaxLSN)
+	if err != nil {
+		return err
+	}
+	e.stats.StorageReads.Add(1)
+	if exists {
+		copy(f.Data, data)
+	} else {
+		for i := range f.Data {
+			f.Data[i] = 0
+		}
+	}
+	binary.LittleEndian.PutUint64(f.Data[0:8], uint64(lsn))
+	f.NewestLSN = lsn
+	f.ShippedLSN = lsn
+	f.SetInvalid(false)
+	return nil
+}
+
+// onEvict implements the eviction policy: a locally-modified frame may
+// only leave the cache once its redo is acknowledged by the page chunks
+// (Figure 7 step 6); dirty frames are written back to remote memory first.
+func (e *Engine) onEvict(f *cache.Frame) {
+	if !e.cfg.ReadOnly && f.NewestLSN > f.ShippedLSN {
+		e.waitShipped(f.NewestLSN)
+		f.ShippedLSN = f.NewestLSN
+	}
+	if f.Dirty() && !e.cfg.ReadOnly && f.Remote.Registered {
+		if err := e.pool.WritePage(f.Remote.Data, f.Data, f.Remote.PIB); err == nil {
+			f.ClearDirty()
+		}
+	}
+	if f.Remote.Registered && e.pool != nil {
+		_ = e.pool.Unregister(f.ID)
+	}
+}
+
+// waitShipped blocks until the shipper watermark covers lsn.
+func (e *Engine) waitShipped(lsn types.LSN) {
+	e.shippedMu.Lock()
+	for e.shippedLSN < lsn {
+		e.shippedCond.Wait()
+	}
+	e.shippedMu.Unlock()
+}
+
+func (e *Engine) setShipped(lsn types.LSN) {
+	e.shippedMu.Lock()
+	if lsn > e.shippedLSN {
+		e.shippedLSN = lsn
+	}
+	e.shippedMu.Unlock()
+	e.shippedCond.Broadcast()
+}
+
+// ---------------------------------------------------------------------------
+// Global latches & SMO clock (btree.Store implementation, continued)
+
+// PLLockX takes the page's global latch exclusively (RDMA CAS fast path,
+// home negotiation slow path). A no-op without remote memory (single-node
+// baselines have no cross-node readers).
+func (e *Engine) PLLockX(f *cache.Frame) error {
+	if e.pool == nil || !f.Remote.Registered {
+		return nil
+	}
+	return e.pool.PL().LockX(f.ID, f.Remote.PL)
+}
+
+// PLUnlockX releases an SMO's latch participation; the latch itself stays
+// sticky on this node until another node asks for it (§3.2).
+func (e *Engine) PLUnlockX(f *cache.Frame) {
+	if e.pool == nil || !f.Remote.Registered {
+		return
+	}
+	_ = e.pool.PL().UnlockX(f.ID, true)
+}
+
+// PLLockS takes the global latch shared (RO pessimistic traversals).
+func (e *Engine) PLLockS(f *cache.Frame) error {
+	if e.pool == nil || !f.Remote.Registered {
+		return nil
+	}
+	return e.pool.PL().LockS(f.ID, f.Remote.PL)
+}
+
+// PLUnlockS releases a shared global latch.
+func (e *Engine) PLUnlockS(f *cache.Frame) {
+	if e.pool == nil || !f.Remote.Registered {
+		return
+	}
+	_ = e.pool.PL().UnlockS(f.ID)
+}
+
+// SMOStamp returns the value SMOs stamp onto modified pages. It is
+// derived from the redo LSN, which is monotone across crashes — any SMO
+// that runs after a reader snapshots SMOClock gets a strictly greater
+// stamp. (The paper uses a dedicated SMO counter; an LSN-based clock is
+// the same mechanism with crash-safety for free.)
+func (e *Engine) SMOStamp() uint64 {
+	return uint64(e.buf.CurrentLSN()) + 1
+}
+
+// SMOClock returns the optimistic traversal snapshot: local LSN on the
+// RW, the RW's published LSN via one-sided RDMA on RO nodes.
+func (e *Engine) SMOClock() (uint64, error) {
+	if !e.cfg.ReadOnly {
+		return uint64(e.buf.CurrentLSN()), nil
+	}
+	lsn, err := e.ctsCli.ReadLSN()
+	return uint64(lsn), err
+}
+
+// ReadOnly reports whether this engine may modify pages.
+func (e *Engine) ReadOnly() bool { return e.cfg.ReadOnly }
+
+var _ btree.Store = (*Engine)(nil)
+
+// ---------------------------------------------------------------------------
+// Mini-transactions
+
+// Mtr is the engine's mini-transaction: a group of page writes applied
+// atomically through the redo log.
+type Mtr struct {
+	e        *Engine
+	m        *plog.MTR
+	frames   map[uint64]*cache.Frame
+	deferred []*cache.Frame // X-PL releases pending until post-invalidation
+}
+
+// BeginMtr opens a mini-transaction (RW only).
+func (e *Engine) BeginMtr() *Mtr {
+	return &Mtr{e: e, m: plog.NewMTR(), frames: make(map[uint64]*cache.Frame)}
+}
+
+// LogWrite applies data at off within the (exclusively latched) frame and
+// logs it. Bytes [0,8) are the engine-owned page LSN and must not be
+// logged.
+func (mt *Mtr) LogWrite(f *cache.Frame, off int, data []byte) {
+	if off < 8 {
+		panic(fmt.Sprintf("engine: logged write into reserved header of %s (off %d)", f.ID, off))
+	}
+	copy(f.Data[off:], data)
+	mt.m.LogWrite(f.ID, uint16(off), data)
+	f.MarkDirty()
+	if _, ok := mt.frames[f.ID.Key()]; !ok {
+		f.Pin()
+		mt.frames[f.ID.Key()] = f
+	}
+}
+
+// DeferPLUnlockX schedules the frame's global X latch release for after
+// this MTR's invalidations (see btree.Mtr). The frame is pinned until then.
+func (mt *Mtr) DeferPLUnlockX(f *cache.Frame) {
+	f.Pin()
+	mt.deferred = append(mt.deferred, f)
+}
+
+var _ btree.Mtr = (*Mtr)(nil)
+
+// Commit runs the §3.1.4 pipeline: invalidate every modified page's other
+// copies, then append the MTR's redo to the log buffer, stamp the frames'
+// page LSNs, and release the pins. Returns the MTR's end LSN (0 if empty).
+func (mt *Mtr) Commit() (types.LSN, error) {
+	if mt.m.Empty() {
+		mt.release()
+		return 0, nil
+	}
+	if mt.e.pool != nil {
+		for _, p := range mt.m.Pages() {
+			if err := mt.e.pool.Invalidate(p); err != nil {
+				// Invalidation must succeed for coherency; a failure means
+				// the home is gone and the node must stop modifying.
+				mt.release()
+				return 0, fmt.Errorf("engine: page_invalidate %s: %w", p, err)
+			}
+		}
+	}
+	end := mt.e.buf.Append(mt.m)
+	mt.e.cts.PublishLSN(end)
+	for _, f := range mt.frames {
+		f.Latch.Lock()
+		if end > f.NewestLSN {
+			binary.LittleEndian.PutUint64(f.Data[0:8], uint64(end))
+			f.NewestLSN = end
+		}
+		f.Latch.Unlock()
+	}
+	mt.release()
+	mt.e.nudgeShipper()
+	return end, nil
+}
+
+func (mt *Mtr) release() {
+	for _, f := range mt.frames {
+		f.Unpin()
+	}
+	mt.frames = make(map[uint64]*cache.Frame)
+	// Now that every modified page is invalidated (or the MTR was empty),
+	// the SMO's global latches may be released (sticky: they stay on this
+	// node until another node asks).
+	for _, f := range mt.deferred {
+		if mt.e.pool != nil && f.Remote.Registered {
+			_ = mt.e.pool.PL().UnlockX(f.ID, true)
+		}
+		f.Unpin()
+	}
+	mt.deferred = nil
+}
+
+func (e *Engine) nudgeShipper() {
+	select {
+	case e.nudge <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"encoding/binary"
+
+	"polardb/internal/rdma"
+	"polardb/internal/txn"
+	"polardb/internal/types"
+)
+
+// handleFlushPage serves an RO node's request to write a page this RW
+// holds dirty back to remote memory (so the RO can read a fresh copy).
+// Replies 1 if the page was written back, 0 if this node has no local
+// copy (storage is then authoritative).
+func (e *Engine) handleFlushPage(from rdma.NodeID, req []byte) ([]byte, error) {
+	if len(req) < 8 {
+		return nil, txn.ErrBadRecord
+	}
+	id := types.PageID{
+		Space: types.SpaceID(binary.LittleEndian.Uint32(req[0:])),
+		No:    types.PageNo(binary.LittleEndian.Uint32(req[4:])),
+	}
+	f := e.cache.Get(id)
+	if f == nil {
+		// If the page is mid-eviction its write-back is in flight; once it
+		// finishes, the remote copy is fresh and the caller can use it.
+		e.cache.WaitEvicting(id)
+		return []byte{0}, nil
+	}
+	defer f.Unpin()
+	if !f.Remote.Registered {
+		return []byte{0}, nil
+	}
+	e.stats.FlushRequests.Add(1)
+	f.Latch.RLock()
+	err := e.pool.WritePage(f.Remote.Data, f.Data, f.Remote.PIB)
+	f.Latch.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	f.ClearDirty()
+	return []byte{1}, nil
+}
+
+// handleViewRPC serves read-view snapshots to RO nodes: the current
+// timestamp plus the in-flight transaction list, taken atomically under
+// the active-transaction lock.
+func (e *Engine) handleViewRPC(from rdma.NodeID, req []byte) ([]byte, error) {
+	e.activeMu.Lock()
+	readTS := e.cts.CurrentTS() + 1
+	active := e.activeListLocked()
+	e.activeMu.Unlock()
+	e.noteROLease(readTS)
+	return txn.MarshalView(readTS, active), nil
+}

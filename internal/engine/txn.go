@@ -1,0 +1,769 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"polardb/internal/btree"
+	"polardb/internal/polarfs"
+	"polardb/internal/txn"
+	"polardb/internal/types"
+)
+
+// Txn is a transaction handle. Read-write transactions run on the RW node
+// (2PL row locks + undo logging); read-only transactions run on any node
+// against a snapshot-isolation read view (§3.3).
+type Txn struct {
+	e    *Engine
+	id   types.TrxID // 0 for read-only
+	view *txn.ReadView
+
+	slot     int
+	lastPg   types.PageNo
+	lastOff  uint16
+	locks    []txn.LockRef
+	touched  []touchedKey
+	writes   int
+	finished bool
+}
+
+type touchedKey struct {
+	space types.SpaceID
+	key   uint64
+}
+
+type backfillItem struct {
+	space types.SpaceID
+	key   uint64
+	trx   types.TrxID
+	cts   types.Timestamp
+}
+
+// Begin starts a read-write transaction (RW node only).
+func (e *Engine) Begin() (*Txn, error) {
+	if e.cfg.ReadOnly {
+		return nil, ErrNotRW
+	}
+	if e.buf == nil {
+		return nil, errNotBootstrapped
+	}
+	id := types.TrxID(e.nextTrx.Add(1))
+	if !e.cts.BeginInLog(id) {
+		return nil, txn.ErrTooManyTxns
+	}
+	t := &Txn{e: e, id: id, slot: -1}
+	e.activeMu.Lock()
+	readTS := e.cts.NextTS()
+	active := e.activeListLocked()
+	e.active[id] = t
+	e.activeMu.Unlock()
+	t.view = txn.NewReadView(readTS, id, active)
+	return t, nil
+}
+
+// BeginRO starts a read-only transaction: on the RW a local snapshot, on
+// an RO node a read-view RPC to the RW (the per-record visibility checks
+// then use one-sided CTS log reads only).
+func (e *Engine) BeginRO() (*Txn, error) {
+	if !e.cfg.ReadOnly {
+		e.activeMu.Lock()
+		readTS := e.cts.CurrentTS() + 1
+		active := e.activeListLocked()
+		e.activeMu.Unlock()
+		t := &Txn{e: e, view: txn.NewReadView(readTS, 0, active)}
+		e.roViewsMu.Lock()
+		e.roViews[t] = readTS
+		e.roViewsMu.Unlock()
+		return t, nil
+	}
+	resp, err := e.ep.Call(e.cfg.RWNode, txn.ViewRPCMethod, nil)
+	if err != nil {
+		return nil, fmt.Errorf("engine: read view from RW: %w", err)
+	}
+	readTS, active, err := txn.UnmarshalView(resp)
+	if err != nil {
+		return nil, err
+	}
+	return &Txn{e: e, view: txn.NewReadView(readTS, 0, active)}, nil
+}
+
+// activeListLocked snapshots in-flight read-write transactions.
+func (e *Engine) activeListLocked() []types.TrxID {
+	out := make([]types.TrxID, 0, len(e.active))
+	for id := range e.active {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ID returns the transaction id (0 for read-only transactions).
+func (t *Txn) ID() types.TrxID { return t.id }
+
+// lookupCTS resolves commit status: locally on the RW, one-sided on ROs.
+func (e *Engine) lookupCTS(trx types.TrxID) (types.Timestamp, bool, error) {
+	if !e.cfg.ReadOnly {
+		cts, known := e.cts.Lookup(trx)
+		return cts, known, nil
+	}
+	return e.ctsCli.Lookup(trx)
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+
+// Get returns the payload visible to the transaction's snapshot.
+func (t *Txn) Get(tbl *Table, key uint64) ([]byte, bool, error) {
+	return t.getTree(tbl.Primary, key)
+}
+
+// GetIndex reads from a secondary index tree under the same snapshot.
+func (t *Txn) GetIndex(ix *Index, key uint64) ([]byte, bool, error) {
+	return t.getTree(ix.Tree, key)
+}
+
+func (t *Txn) getTree(tree *btree.Tree, key uint64) ([]byte, bool, error) {
+	raw, err := tree.Get(key, t.e.readMode())
+	if errors.Is(err, btree.ErrKeyNotFound) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return t.resolveVersion(raw)
+}
+
+// resolveVersion walks a record's version chain until a visible version.
+func (t *Txn) resolveVersion(raw []byte) ([]byte, bool, error) {
+	rec, err := txn.UnmarshalRecord(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	for depth := 0; depth < 1000; depth++ {
+		vis, err := t.view.Judge(&rec, t.e.lookupCTS)
+		if err != nil {
+			return nil, false, err
+		}
+		if vis != txn.Invisible {
+			if rec.Tombstone {
+				return nil, false, nil
+			}
+			out := make([]byte, len(rec.Payload))
+			copy(out, rec.Payload)
+			return out, true, nil
+		}
+		if rec.UndoPage == 0 {
+			return nil, false, nil // created after the snapshot
+		}
+		prev, prevOK, err := t.e.readUndoPrev(rec.UndoPage, rec.UndoOff)
+		if err != nil {
+			return nil, false, err
+		}
+		if !prevOK {
+			return nil, false, nil // UndoInsert: record did not exist before
+		}
+		rec, err = txn.UnmarshalRecord(prev)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	return nil, false, fmt.Errorf("engine: version chain too deep")
+}
+
+// readUndoPrev loads the previous version bytes from an undo record.
+// ok=false means the undo record is an insert marker (no previous version).
+func (e *Engine) readUndoPrev(pg types.PageNo, off uint16) ([]byte, bool, error) {
+	f, err := e.Fetch(types.PageID{Space: UndoSpace, No: pg})
+	if err != nil {
+		return nil, false, err
+	}
+	f.Latch.RLock()
+	u, err := txn.UnmarshalUndo(f.Data, int(off))
+	if err == nil && u.Type != txn.UndoInsert && u.Type != txn.UndoUpdate && u.Type != txn.UndoDelete {
+		// Forensics: compare this frame against the storage and remote
+		// copies to find where the zeroed bytes came from.
+		sData, sLSN, sExists, _ := e.pfs.GetPage(types.PageID{Space: UndoSpace, No: pg}, polarfs.MaxLSN)
+		sNZ := false
+		if sExists && int(off)+8 <= len(sData) {
+			for _, b := range sData[off : off+8] {
+				if b != 0 {
+					sNZ = true
+				}
+			}
+		}
+		rNZ := false
+		var rHdr uint64
+		if f.Remote.Registered && e.pool != nil {
+			buf := make([]byte, types.PageSize)
+			if e.pool.ReadPage(f.Remote.Data, buf) == nil {
+				rHdr = binary.LittleEndian.Uint64(buf[0:8])
+				for _, b := range buf[off : off+8] {
+					if b != 0 {
+						rNZ = true
+					}
+				}
+			}
+		}
+		err = fmt.Errorf("engine: undo %d/%d type=%d trx=%d pageLSN=%d newest=%d shipped=%d invalid=%v remote=%v storage[lsn=%d nz=%v] remoteCopy[hdr=%d nz=%v]: zeroed or torn undo record",
+			pg, off, u.Type, u.Trx, binary.LittleEndian.Uint64(f.Data[0:8]), f.NewestLSN, f.ShippedLSN, f.Invalid(), f.Remote.Registered,
+			sLSN, sNZ, rHdr, rNZ)
+	}
+	var prev []byte
+	if err == nil && u.Type != txn.UndoInsert {
+		prev = make([]byte, len(u.PrevBytes))
+		copy(prev, u.PrevBytes)
+	}
+	isInsert := err == nil && u.Type == txn.UndoInsert
+	f.Latch.RUnlock()
+	e.Unpin(f)
+	if err != nil {
+		return nil, false, err
+	}
+	if isInsert {
+		return nil, false, nil
+	}
+	return prev, true, nil
+}
+
+// Scan streams visible records with from <= key < to in key order.
+func (t *Txn) Scan(tbl *Table, from, to uint64, fn func(key uint64, payload []byte) bool) error {
+	return t.ScanTree(tbl.Primary, from, to, fn)
+}
+
+// ScanTree is Scan over an arbitrary index tree.
+func (t *Txn) ScanTree(tree *btree.Tree, from, to uint64, fn func(key uint64, payload []byte) bool) error {
+	var resolveErr error
+	err := tree.Scan(from, to, t.e.readMode(), func(kv btree.KV) bool {
+		payload, ok, err := t.resolveVersion(kv.Value)
+		if err != nil {
+			resolveErr = err
+			return false
+		}
+		if !ok {
+			return true
+		}
+		return fn(kv.Key, payload)
+	})
+	if err != nil {
+		return err
+	}
+	return resolveErr
+}
+
+// ---------------------------------------------------------------------------
+// Writes
+
+// Insert adds a new row; ErrKeyExists if a visible version exists.
+func (t *Txn) Insert(tbl *Table, key uint64, payload []byte) error {
+	return t.writeTree(tbl.Primary, key, payload, opInsert)
+}
+
+// Update replaces an existing row; ErrKeyNotFound if absent.
+func (t *Txn) Update(tbl *Table, key uint64, payload []byte) error {
+	return t.writeTree(tbl.Primary, key, payload, opUpdate)
+}
+
+// Put inserts or replaces a row.
+func (t *Txn) Put(tbl *Table, key uint64, payload []byte) error {
+	return t.writeTree(tbl.Primary, key, payload, opPut)
+}
+
+// Delete removes a row (tombstone; older snapshots keep seeing it).
+func (t *Txn) Delete(tbl *Table, key uint64) error {
+	return t.writeTree(tbl.Primary, key, nil, opDelete)
+}
+
+// InsertIndex / DeleteIndex maintain a secondary index entry within the
+// same transaction (the payload is typically the encoded primary key).
+func (t *Txn) InsertIndex(ix *Index, key uint64, payload []byte) error {
+	return t.writeTree(ix.Tree, key, payload, opPut)
+}
+
+// DeleteIndex tombstones a secondary index entry.
+func (t *Txn) DeleteIndex(ix *Index, key uint64) error {
+	return t.writeTree(ix.Tree, key, nil, opDelete)
+}
+
+type writeKind int
+
+const (
+	opInsert writeKind = iota
+	opUpdate
+	opPut
+	opDelete
+)
+
+func (t *Txn) writeTree(tree *btree.Tree, key uint64, payload []byte, kind writeKind) error {
+	if t.id == 0 {
+		return ErrNotRW
+	}
+	if t.finished {
+		return ErrClosed
+	}
+	e := t.e
+	space := tree.Space()
+	if err := e.locks.Lock(t.id, space, key); err != nil {
+		return err
+	}
+	t.locks = append(t.locks, txn.LockRef{Space: space, Key: key})
+
+	// Read the newest version (raw) to build the undo record.
+	cur, err := tree.Get(key, btree.Local)
+	exists := err == nil
+	if err != nil && !errors.Is(err, btree.ErrKeyNotFound) {
+		return err
+	}
+	var curRec txn.Record
+	live := false
+	if exists {
+		curRec, err = txn.UnmarshalRecord(cur)
+		if err != nil {
+			return err
+		}
+		live = !curRec.Tombstone
+	}
+	switch kind {
+	case opInsert:
+		if live {
+			return fmt.Errorf("%w: key %d", ErrKeyExists, key)
+		}
+	case opUpdate:
+		if !live {
+			return fmt.Errorf("%w: key %d", ErrKeyNotFound, key)
+		}
+	case opDelete:
+		if !live {
+			return fmt.Errorf("%w: key %d", ErrKeyNotFound, key)
+		}
+	}
+
+	// Build the undo record.
+	u := txn.UndoRec{
+		Trx:        t.id,
+		Space:      space,
+		Key:        key,
+		PrevTxnPg:  t.lastPg,
+		PrevTxnOff: t.lastOff,
+	}
+	if exists {
+		u.Type = txn.UndoUpdate
+		if kind == opDelete {
+			u.Type = txn.UndoDelete
+		}
+		u.PrevBytes = cur
+	} else {
+		u.Type = txn.UndoInsert
+	}
+
+	mt := e.BeginMtr()
+	committed := false
+	defer func() {
+		if !committed {
+			_, _ = mt.Commit() // applied page changes must still be logged
+		}
+	}()
+	if t.slot < 0 {
+		slot, err := e.claimSlot(mt, t.id)
+		if err != nil {
+			return err
+		}
+		t.slot = slot
+	}
+	undoPg, undoOff, err := e.appendUndo(mt, &u)
+	if err != nil {
+		return err
+	}
+	newRec := txn.Record{
+		Trx:       t.id,
+		UndoPage:  undoPg,
+		UndoOff:   undoOff,
+		Tombstone: kind == opDelete,
+		Payload:   payload,
+	}
+	if err := tree.Put(mt, key, newRec.Marshal()); err != nil {
+		return err
+	}
+	// Persist the rollback chain head in the slot (same MTR: atomic).
+	if err := e.writeSlot(mt, t.slot, txn.TxnSlot{
+		Trx: t.id, State: txn.SlotActive, LastUndoPage: undoPg, LastUndoOff: undoOff,
+	}); err != nil {
+		return err
+	}
+	if _, err := mt.Commit(); err != nil {
+		committed = true
+		return err
+	}
+	committed = true
+	t.lastPg, t.lastOff = undoPg, undoOff
+	t.writes++
+	t.touched = append(t.touched, touchedKey{space, key})
+	return nil
+}
+
+// Commit makes the transaction durable and visible.
+func (t *Txn) Commit() error {
+	if t.finished {
+		return ErrClosed
+	}
+	t.finished = true
+	e := t.e
+	if t.id == 0 {
+		e.dropROView(t)
+		return nil // read-only
+	}
+	defer func() {
+		e.activeMu.Lock()
+		delete(e.active, t.id)
+		e.activeMu.Unlock()
+		e.locks.ReleaseAll(t.id, t.locks)
+		if t.slot >= 0 {
+			e.releaseSlot(t.slot, t.id)
+		}
+	}()
+	if t.writes == 0 {
+		e.cts.ClearSlot(t.id)
+		e.stats.Commits.Add(1)
+		return nil
+	}
+	ctsCommit := e.cts.NextTS()
+	mt := e.BeginMtr()
+	committed := false
+	defer func() {
+		if !committed {
+			_, _ = mt.Commit()
+		}
+	}()
+	if err := e.writeSlot(mt, t.slot, txn.TxnSlot{
+		Trx: t.id, State: txn.SlotCommitted, LastUndoPage: t.lastPg, LastUndoOff: t.lastOff,
+	}); err != nil {
+		return err
+	}
+	// Persist the CTS watermark so recovery restarts timestamps above it.
+	if err := e.writeHeaderField(mt, txn.CTSWatermarkOffset, txn.MarshalCTSWatermark(ctsCommit)); err != nil {
+		return err
+	}
+	end, err := mt.Commit()
+	committed = true
+	if err != nil {
+		return err
+	}
+	// Commit point: redo durable on the log chunks, then the commit
+	// timestamp becomes visible through the CTS log.
+	if err := e.DurableCommit(end); err != nil {
+		// The node died before the commit became durable; recovery on the
+		// new RW rolls this transaction back.
+		e.stats.Aborts.Add(1)
+		return err
+	}
+	e.cts.RecordCommit(t.id, ctsCommit)
+	e.stats.Commits.Add(1)
+	// Backfill cts_commit into the modified records asynchronously.
+	for _, k := range t.touched {
+		select {
+		case e.backfillCh <- backfillItem{k.space, k.key, t.id, ctsCommit}:
+		default: // backfill is best-effort; the CTS log remains authoritative
+		}
+	}
+	return nil
+}
+
+// Rollback undoes every change and releases the transaction.
+func (t *Txn) Rollback() error {
+	if t.finished {
+		return ErrClosed
+	}
+	t.finished = true
+	e := t.e
+	if t.id == 0 {
+		e.dropROView(t)
+		return nil
+	}
+	defer func() {
+		e.activeMu.Lock()
+		delete(e.active, t.id)
+		e.activeMu.Unlock()
+		e.locks.ReleaseAll(t.id, t.locks)
+		if t.slot >= 0 {
+			e.releaseSlot(t.slot, t.id)
+		}
+	}()
+	err := e.rollbackChain(t.id, t.lastPg, t.lastOff, t.slot)
+	e.cts.ClearSlot(t.id)
+	e.stats.Aborts.Add(1)
+	return err
+}
+
+// rollbackChain walks a transaction's undo chain newest-first, restoring
+// previous versions, then frees the slot. Used by both explicit rollback
+// and crash recovery (step 9 of §5.1).
+func (e *Engine) rollbackChain(id types.TrxID, pg types.PageNo, off uint16, slot int) error {
+	for pg != 0 {
+		f, err := e.Fetch(types.PageID{Space: UndoSpace, No: pg})
+		if err != nil {
+			return err
+		}
+		f.Latch.RLock()
+		u, err := txn.UnmarshalUndo(f.Data, int(off))
+		var prevBytes []byte
+		if err == nil {
+			prevBytes = make([]byte, len(u.PrevBytes))
+			copy(prevBytes, u.PrevBytes)
+		}
+		f.Latch.RUnlock()
+		e.Unpin(f)
+		if err != nil {
+			return err
+		}
+		if u.Trx != id {
+			return fmt.Errorf("engine: undo chain of %d reached record of %d", id, u.Trx)
+		}
+		tree := e.tree(u.Space)
+		mt := e.BeginMtr()
+		switch u.Type {
+		case txn.UndoInsert:
+			if err := tree.Delete(mt, u.Key); err != nil && !errors.Is(err, btree.ErrKeyNotFound) {
+				return err
+			}
+		default: // update / delete: restore the previous record bytes
+			if err := tree.Put(mt, u.Key, prevBytes); err != nil {
+				return err
+			}
+		}
+		if _, err := mt.Commit(); err != nil {
+			return err
+		}
+		pg, off = u.PrevTxnPg, u.PrevTxnOff
+	}
+	if slot >= 0 {
+		mt := e.BeginMtr()
+		if err := e.writeSlot(mt, slot, txn.TxnSlot{State: txn.SlotFree}); err != nil {
+			return err
+		}
+		if _, err := mt.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Undo allocation & transaction slots
+
+// appendUndo writes an undo record into the undo space and returns its
+// (page, offset). Append-only: offsets never move.
+func (e *Engine) appendUndo(mt *Mtr, u *txn.UndoRec) (types.PageNo, uint16, error) {
+	enc := u.Marshal()
+	e.undoMu.Lock()
+	defer e.undoMu.Unlock()
+	if e.undoOff < 8 {
+		e.undoOff = 8 // bytes [0,8) of every page hold the page LSN
+	}
+	if int(e.undoOff)+len(enc) > types.PageSize {
+		e.undoPage++
+		e.undoOff = 8
+	}
+	pg, off := e.undoPage, e.undoOff
+	f, err := e.Fetch(types.PageID{Space: UndoSpace, No: pg})
+	if err != nil {
+		return 0, 0, err
+	}
+	f.Latch.Lock()
+	mt.LogWrite(f, int(off), enc)
+	f.Latch.Unlock()
+	e.Unpin(f)
+	e.undoOff += uint16(len(enc))
+	// Persist the cursor so recovery resumes appending past everything.
+	hdr, err := e.Fetch(types.PageID{Space: UndoSpace, No: 0})
+	if err != nil {
+		return 0, 0, err
+	}
+	hdr.Latch.Lock()
+	mt.LogWrite(hdr, txn.UndoAllocOffset, txn.MarshalUndoAlloc(e.undoPage, e.undoOff))
+	hdr.Latch.Unlock()
+	e.Unpin(hdr)
+	return pg, off, nil
+}
+
+// claimSlot assigns a persistent transaction slot (first write).
+func (e *Engine) claimSlot(mt *Mtr, id types.TrxID) (int, error) {
+	e.slotMu.Lock()
+	slot := -1
+	for i := 0; i < txn.SlotCount(); i++ {
+		if _, taken := e.slotOwner[i]; !taken {
+			slot = i
+			e.slotOwner[i] = id
+			break
+		}
+	}
+	e.slotMu.Unlock()
+	if slot < 0 {
+		return -1, txn.ErrTooManyTxns
+	}
+	return slot, nil
+}
+
+func (e *Engine) releaseSlot(slot int, id types.TrxID) {
+	e.slotMu.Lock()
+	if e.slotOwner[slot] == id {
+		delete(e.slotOwner, slot)
+	}
+	e.slotMu.Unlock()
+}
+
+// writeSlot logs a transaction slot update on the undo header page.
+func (e *Engine) writeSlot(mt *Mtr, slot int, s txn.TxnSlot) error {
+	return e.writeHeaderField(mt, txn.SlotOffset(slot), s.Marshal())
+}
+
+// writeHeaderField logs a write at a fixed offset of the undo header page.
+func (e *Engine) writeHeaderField(mt *Mtr, off int, data []byte) error {
+	hdr, err := e.Fetch(types.PageID{Space: UndoSpace, No: 0})
+	if err != nil {
+		return err
+	}
+	hdr.Latch.Lock()
+	mt.LogWrite(hdr, off, data)
+	hdr.Latch.Unlock()
+	e.Unpin(hdr)
+	return nil
+}
+
+// backfillWorker asynchronously fills cts_commit into committed records
+// (§3.3: immediate filling would cause a burst of random writes at commit
+// time; readers use the CTS log until the backfill lands).
+func (e *Engine) backfillWorker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.closeCh:
+			return
+		case item := <-e.backfillCh:
+			tree := e.tree(item.space)
+			mt := e.BeginMtr()
+			err := tree.PatchInPlace(mt, item.key, func(val []byte) (int, []byte, bool) {
+				rec, err := txn.UnmarshalRecord(val)
+				if err != nil || rec.Trx != item.trx || rec.CTS != 0 {
+					return 0, nil, false
+				}
+				patch := make([]byte, 8)
+				for i := 0; i < 8; i++ {
+					patch[i] = byte(uint64(item.cts) >> (8 * i))
+				}
+				return txn.CTSFieldOffset, patch, true
+			})
+			if err != nil {
+				continue // key since moved/deleted: the CTS log still serves
+			}
+			_, _ = mt.Commit()
+		}
+	}
+}
+
+func (e *Engine) dropROView(t *Txn) {
+	e.roViewsMu.Lock()
+	delete(e.roViews, t)
+	e.roViewsMu.Unlock()
+}
+
+// purgeHorizon computes the oldest timestamp any snapshot may still
+// need: active read-write views, local read-only views, and a lease
+// window for views handed to RO nodes.
+func (e *Engine) purgeHorizon() types.Timestamp {
+	e.activeMu.Lock()
+	horizon := e.cts.CurrentTS() + 1
+	for _, t := range e.active {
+		if t.view != nil && t.view.ReadTS < horizon {
+			horizon = t.view.ReadTS
+		}
+	}
+	e.activeMu.Unlock()
+	e.roViewsMu.Lock()
+	for _, ts := range e.roViews {
+		if ts < horizon {
+			horizon = ts
+		}
+	}
+	now := time.Now()
+	live := e.roLeases[:0]
+	for _, l := range e.roLeases {
+		if now.Before(l.expires) {
+			live = append(live, l)
+			if l.ts < horizon {
+				horizon = l.ts
+			}
+		}
+	}
+	e.roLeases = live
+	e.roViewsMu.Unlock()
+	return horizon
+}
+
+// noteROLease records a view handed to an RO node (purge-horizon lease).
+func (e *Engine) noteROLease(ts types.Timestamp) {
+	e.roViewsMu.Lock()
+	e.roLeases = append(e.roLeases, roLease{ts: ts, expires: time.Now().Add(roLeaseWindow)})
+	e.roViewsMu.Unlock()
+}
+
+// PurgeTombstones physically removes delete-marked records that are no
+// longer visible to any possible snapshot: the tombstone's commit
+// timestamp must be backfilled and below every active transaction's read
+// view (InnoDB-style purge; the paper's engine inherits it from InnoDB).
+// Returns the number of records purged. RW only; run it periodically or
+// after bulk deletes.
+func (e *Engine) PurgeTombstones(tbl *Table) (int, error) {
+	if e.cfg.ReadOnly {
+		return 0, ErrNotRW
+	}
+	// Horizon: no open snapshot (read-write, local read-only, or leased to
+	// an RO node) may still need the deleted version.
+	horizon := e.purgeHorizon()
+
+	// Collect purgable keys first (scan without latching across the op),
+	// then delete them one MTR at a time.
+	var victims []uint64
+	err := tbl.Primary.Scan(0, ^uint64(0), btree.Local, func(kv btree.KV) bool {
+		rec, err := txn.UnmarshalRecord(kv.Value)
+		if err != nil {
+			return true
+		}
+		if rec.Tombstone && rec.CTS != 0 && rec.CTS < horizon {
+			victims = append(victims, kv.Key)
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	purged := 0
+	for _, k := range victims {
+		// Re-check under the write lock: the key may have been reborn.
+		if err := e.locks.Lock(types.TrxID(^uint64(0)), tbl.Space, k); err != nil {
+			continue // contended; next purge pass gets it
+		}
+		raw, err := tbl.Primary.Get(k, btree.Local)
+		if err == nil {
+			if rec, derr := txn.UnmarshalRecord(raw); derr == nil &&
+				rec.Tombstone && rec.CTS != 0 && rec.CTS < horizon {
+				mt := e.BeginMtr()
+				if err := tbl.Primary.Delete(mt, k); err == nil {
+					if _, err := mt.Commit(); err == nil {
+						purged++
+					}
+				} else {
+					_, _ = mt.Commit()
+				}
+			}
+		}
+		e.locks.ReleaseAll(types.TrxID(^uint64(0)), []txn.LockRef{{Space: tbl.Space, Key: k}})
+	}
+	return purged, nil
+}
+
+// ActiveTxnCount reports in-flight read-write transactions.
+func (e *Engine) ActiveTxnCount() int {
+	e.activeMu.Lock()
+	defer e.activeMu.Unlock()
+	return len(e.active)
+}

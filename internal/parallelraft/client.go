@@ -1,0 +1,58 @@
+package parallelraft
+
+import (
+	"fmt"
+	"time"
+
+	"polardb/internal/rdma"
+	"polardb/internal/wire"
+)
+
+// LocateLeader asks the given peers for a raft group's current leader. It
+// polls until a leader is reported reachable or the timeout elapses.
+// Callers (libpfs, the cluster manager) cache the result and re-locate on
+// ErrNotLeader.
+func LocateLeader(ep *rdma.Endpoint, group string, peers []rdma.NodeID, timeout time.Duration) (rdma.NodeID, error) {
+	deadline := time.Now().Add(timeout)
+	method := "raft." + group + ".status"
+	// Status calls get a generous timeout: under CPU-saturated simulation
+	// a tight timeout would expire before the handler is even scheduled,
+	// and every expiry abandons a goroutine — a feedback loop.
+	const statusTimeout = time.Second
+	for {
+		if ep.Down() {
+			return "", fmt.Errorf("%w: local endpoint down", ErrNoLeader)
+		}
+		for _, p := range peers {
+			resp, err := ep.CallTimeout(p, method, nil, statusTimeout)
+			if err != nil {
+				continue
+			}
+			rd := wire.NewReader(resp)
+			_ = rd.U64() // term
+			role := Role(rd.U8())
+			leader := rdma.NodeID(rd.String())
+			if rd.Err() != nil {
+				continue
+			}
+			if role == Leader {
+				return p, nil
+			}
+			if leader != "" {
+				// Verify the hint is actually leading.
+				r2, err := ep.CallTimeout(leader, method, nil, statusTimeout)
+				if err == nil {
+					rd2 := wire.NewReader(r2)
+					_ = rd2.U64()
+					if Role(rd2.U8()) == Leader && rd2.Err() == nil {
+						return leader, nil
+					}
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return "", ErrNoLeader
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,34 @@
+package parallelraft
+
+import (
+	"polardb/internal/rdma"
+	"polardb/internal/wire"
+)
+
+// newAppendWriter fabricates an append RPC payload for tests; it mirrors
+// buildAppendReq's wire layout.
+func newAppendWriter(term uint64, leader rdma.NodeID, commitPrefix, maxSeen uint64, extra []uint64, e *Entry) []byte {
+	w := wire.NewWriter(256)
+	w.U64(term)
+	w.String(string(leader))
+	w.U64(commitPrefix)
+	w.U64(maxSeen)
+	w.U16(uint16(len(extra)))
+	for _, i := range extra {
+		w.U64(i)
+	}
+	if e != nil {
+		w.Bool(true)
+		e.marshal(w)
+	} else {
+		w.Bool(false)
+	}
+	return w.Bytes()
+}
+
+// roundTripEntry marshals e and unmarshals it into out, for tests.
+func roundTripEntry(e, out *Entry) {
+	w := wire.NewWriter(256)
+	e.marshal(w)
+	out.unmarshal(wire.NewReader(w.Bytes()))
+}

@@ -1,0 +1,260 @@
+package rdma
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Addr names a location in a registered remote memory region.
+type Addr struct {
+	Node   NodeID
+	Region uint32
+	Off    uint64
+}
+
+// Nil reports whether the address is the zero value.
+func (a Addr) Nil() bool { return a == Addr{} }
+
+func (a Addr) String() string {
+	return fmt.Sprintf("%s/r%d+%d", a.Node, a.Region, a.Off)
+}
+
+// Region is a piece of node memory registered with the NIC, remotely
+// accessible through one-sided verbs. The owning node may also access it
+// locally (without fabric latency) through the same methods on the Region
+// value itself.
+type Region struct {
+	id  uint32
+	mu  sync.RWMutex
+	buf []byte
+}
+
+// ID returns the region's identifier within its endpoint.
+func (r *Region) ID() uint32 { return r.id }
+
+// Len returns the region size in bytes.
+func (r *Region) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.buf)
+}
+
+// ReadLocal copies region bytes at off into dst without fabric latency.
+// It is the owning node's view of its own memory.
+func (r *Region) ReadLocal(off uint64, dst []byte) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if int(off)+len(dst) > len(r.buf) || int(off) < 0 {
+		return ErrOutOfBounds
+	}
+	copy(dst, r.buf[off:])
+	return nil
+}
+
+// WriteLocal copies src into the region at off without fabric latency.
+func (r *Region) WriteLocal(off uint64, src []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(off)+len(src) > len(r.buf) {
+		return ErrOutOfBounds
+	}
+	copy(r.buf[off:], src)
+	return nil
+}
+
+// Load64Local atomically reads an 8-byte word locally.
+func (r *Region) Load64Local(off uint64) (uint64, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if off%8 != 0 {
+		return 0, ErrMisaligned
+	}
+	if int(off)+8 > len(r.buf) {
+		return 0, ErrOutOfBounds
+	}
+	return binary.LittleEndian.Uint64(r.buf[off:]), nil
+}
+
+// Store64Local atomically writes an 8-byte word locally.
+func (r *Region) Store64Local(off uint64, v uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if off%8 != 0 {
+		return ErrMisaligned
+	}
+	if int(off)+8 > len(r.buf) {
+		return ErrOutOfBounds
+	}
+	binary.LittleEndian.PutUint64(r.buf[off:], v)
+	return nil
+}
+
+// FetchAdd64Local atomically adds delta to an 8-byte word locally and
+// returns the value before the addition.
+func (r *Region) FetchAdd64Local(off uint64, delta uint64) (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if off%8 != 0 {
+		return 0, ErrMisaligned
+	}
+	if int(off)+8 > len(r.buf) {
+		return 0, ErrOutOfBounds
+	}
+	prev := binary.LittleEndian.Uint64(r.buf[off:])
+	binary.LittleEndian.PutUint64(r.buf[off:], prev+delta)
+	return prev, nil
+}
+
+// CAS64Local performs a local compare-and-swap on an 8-byte word and
+// returns the previous value and whether the swap happened.
+func (r *Region) CAS64Local(off uint64, old, new uint64) (uint64, bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.casLocked(off, old, new)
+}
+
+func (r *Region) casLocked(off uint64, old, new uint64) (uint64, bool, error) {
+	if off%8 != 0 {
+		return 0, false, ErrMisaligned
+	}
+	if int(off)+8 > len(r.buf) {
+		return 0, false, ErrOutOfBounds
+	}
+	cur := binary.LittleEndian.Uint64(r.buf[off:])
+	if cur != old {
+		return cur, false, nil
+	}
+	binary.LittleEndian.PutUint64(r.buf[off:], new)
+	return cur, true, nil
+}
+
+// RegisterRegion registers size bytes of node memory with the NIC and
+// returns the region handle. The contents start zeroed.
+func (e *Endpoint) RegisterRegion(size int) *Region {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.nextReg++
+	r := &Region{id: e.nextReg, buf: make([]byte, size)}
+	e.regions[r.id] = r
+	return r
+}
+
+// DeregisterRegion removes a region; remote access to it then fails.
+func (e *Endpoint) DeregisterRegion(id uint32) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.regions, id)
+}
+
+// Region returns a registered region by id, or nil.
+func (e *Endpoint) Region(id uint32) *Region {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.regions[id]
+}
+
+// remoteRegion resolves an Addr to a region on a live node. A killed
+// endpoint cannot initiate traffic either: its NIC is down in both
+// directions.
+func (e *Endpoint) remoteRegion(a Addr) (*Region, error) {
+	if e.isDown() {
+		return nil, fmt.Errorf("%w: %s (local endpoint down)", ErrUnreachable, e.id)
+	}
+	target, err := e.fabric.lookup(a.Node)
+	if err != nil {
+		return nil, err
+	}
+	target.mu.RLock()
+	r, ok := target.regions[a.Region]
+	target.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchRegion, a)
+	}
+	return r, nil
+}
+
+// Read performs a one-sided RDMA READ of len(dst) bytes from the remote
+// address into dst. The remote CPU is not involved.
+func (e *Endpoint) Read(a Addr, dst []byte) error {
+	r, err := e.remoteRegion(a)
+	if err != nil {
+		return err
+	}
+	e.fabric.delay(e.fabric.cfg.OneSidedRead, len(dst))
+	if err := r.ReadLocal(a.Off, dst); err != nil {
+		return err
+	}
+	e.fabric.stats.record(opRead, len(dst))
+	return nil
+}
+
+// Write performs a one-sided RDMA WRITE of src to the remote address.
+func (e *Endpoint) Write(a Addr, src []byte) error {
+	r, err := e.remoteRegion(a)
+	if err != nil {
+		return err
+	}
+	e.fabric.delay(e.fabric.cfg.OneSidedWrite, len(src))
+	if err := r.WriteLocal(a.Off, src); err != nil {
+		return err
+	}
+	e.fabric.stats.record(opWrite, len(src))
+	return nil
+}
+
+// CAS64 performs a one-sided RDMA compare-and-swap on an 8-byte word at the
+// remote address. It returns the previous value and whether the swap
+// succeeded.
+func (e *Endpoint) CAS64(a Addr, old, new uint64) (uint64, bool, error) {
+	r, err := e.remoteRegion(a)
+	if err != nil {
+		return 0, false, err
+	}
+	e.fabric.delay(e.fabric.cfg.Atomic, 8)
+	prev, ok, err := r.CAS64Local(a.Off, old, new)
+	if err != nil {
+		return 0, false, err
+	}
+	e.fabric.stats.record(opAtomic, 8)
+	return prev, ok, nil
+}
+
+// FetchAdd64 performs a one-sided RDMA fetch-and-add on an 8-byte word and
+// returns the value before the addition.
+func (e *Endpoint) FetchAdd64(a Addr, delta uint64) (uint64, error) {
+	r, err := e.remoteRegion(a)
+	if err != nil {
+		return 0, err
+	}
+	e.fabric.delay(e.fabric.cfg.Atomic, 8)
+	r.mu.Lock()
+	if a.Off%8 != 0 {
+		r.mu.Unlock()
+		return 0, ErrMisaligned
+	}
+	if int(a.Off)+8 > len(r.buf) {
+		r.mu.Unlock()
+		return 0, ErrOutOfBounds
+	}
+	prev := binary.LittleEndian.Uint64(r.buf[a.Off:])
+	binary.LittleEndian.PutUint64(r.buf[a.Off:], prev+delta)
+	r.mu.Unlock()
+	e.fabric.stats.record(opAtomic, 8)
+	return prev, nil
+}
+
+// Load64 performs a one-sided atomic read of an 8-byte word.
+func (e *Endpoint) Load64(a Addr) (uint64, error) {
+	r, err := e.remoteRegion(a)
+	if err != nil {
+		return 0, err
+	}
+	e.fabric.delay(e.fabric.cfg.OneSidedRead, 8)
+	v, err := r.Load64Local(a.Off)
+	if err != nil {
+		return 0, err
+	}
+	e.fabric.stats.record(opRead, 8)
+	return v, nil
+}

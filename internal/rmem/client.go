@@ -1,0 +1,217 @@
+package rmem
+
+import (
+	"fmt"
+	"sync"
+
+	"polardb/internal/rdma"
+	"polardb/internal/types"
+	"polardb/internal/wire"
+)
+
+// RegisterResult is what page_register returns: whether the page already
+// existed in the pool, the one-sided address of its data, and the
+// addresses of its PL latch and PIB invalidation words.
+type RegisterResult struct {
+	Exists bool
+	Data   rdma.Addr
+	PL     rdma.Addr
+	PIB    rdma.Addr
+}
+
+// Pool is the librmem client on a database node. Page data is moved with
+// one-sided RDMA verbs; registration, invalidation and latch negotiation
+// are RPCs to the home node.
+type Pool struct {
+	ep  *rdma.Endpoint
+	cfg Config
+
+	mu       sync.Mutex
+	home     rdma.NodeID
+	ownerIdx uint16
+	pl       *PLManager
+
+	invalidateFn func(types.PageID)
+	slabFailFn   func([]types.PageID)
+}
+
+// NewPool connects a database node to the pool served by home. The first
+// round trip learns the node's owner index (used in PL latch words).
+func NewPool(ep *rdma.Endpoint, cfg Config, home rdma.NodeID) (*Pool, error) {
+	cfg.applyDefaults()
+	p := &Pool{ep: ep, cfg: cfg, home: home}
+	resp, err := ep.Call(home, cfg.method("hello"), nil)
+	if err != nil {
+		return nil, fmt.Errorf("rmem: connecting to home %s: %w", home, err)
+	}
+	rd := wire.NewReader(resp)
+	p.ownerIdx = rd.U16()
+	if err := rd.Err(); err != nil {
+		return nil, err
+	}
+	p.pl = NewPLManager(ep, cfg, home, p.ownerIdx)
+	ep.RegisterHandler(cfg.method("cb.inv"), p.handleInvalidateCB)
+	ep.RegisterHandler(cfg.method("cb.slabfail"), p.handleSlabFailCB)
+	return p, nil
+}
+
+// PL returns the node's global page latch manager.
+func (p *Pool) PL() *PLManager { return p.pl }
+
+// OwnerIdx returns the node index the home assigned to this node.
+func (p *Pool) OwnerIdx() uint16 { return p.ownerIdx }
+
+// Home returns the current home node id.
+func (p *Pool) Home() rdma.NodeID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.home
+}
+
+// SwitchHome repoints the client after a home failover (all cached remote
+// addresses become invalid; callers must drop them and re-register).
+func (p *Pool) SwitchHome(home rdma.NodeID) {
+	p.mu.Lock()
+	p.home = home
+	p.mu.Unlock()
+	p.pl.SetHome(home)
+}
+
+// OnInvalidate installs the callback run when the home invalidates a page
+// this node holds (it must be lock-light: it runs on the RPC path of the
+// RW node's page_invalidate).
+func (p *Pool) OnInvalidate(fn func(types.PageID)) { p.invalidateFn = fn }
+
+// OnSlabFailure installs the callback run when pages are lost to a slab
+// node crash.
+func (p *Pool) OnSlabFailure(fn func([]types.PageID)) { p.slabFailFn = fn }
+
+func (p *Pool) pageReq(page types.PageID) []byte {
+	w := wire.NewWriter(8)
+	w.U32(uint32(page.Space))
+	w.U32(uint32(page.No))
+	return w.Bytes()
+}
+
+// Register implements page_register: obtain the page's remote address,
+// incrementing its reference count (allocating it if absent).
+func (p *Pool) Register(page types.PageID) (RegisterResult, error) {
+	return p.register(page, false)
+}
+
+// RegisterIfCached is page_register with the scan-pollution guard: it
+// takes a reference only if the page is already in the pool, and never
+// allocates (§3.1.3: full-table-scan pages are not written into remote
+// memory). Exists=false means no reference was taken.
+func (p *Pool) RegisterIfCached(page types.PageID) (RegisterResult, error) {
+	return p.register(page, true)
+}
+
+func (p *Pool) register(page types.PageID, noAlloc bool) (RegisterResult, error) {
+	w := wire.NewWriter(12)
+	w.U32(uint32(page.Space))
+	w.U32(uint32(page.No))
+	w.Bool(noAlloc)
+	resp, err := p.ep.Call(p.Home(), p.cfg.method("reg"), w.Bytes())
+	if err != nil {
+		return RegisterResult{}, err
+	}
+	rd := wire.NewReader(resp)
+	var res RegisterResult
+	res.Exists = rd.Bool()
+	slabNode := rdma.NodeID(rd.String())
+	slabRegion := rd.U32()
+	dataOff := rd.U64()
+	metaRegion := rd.U32()
+	slotOff := rd.U64()
+	idx := rd.U16()
+	if err := rd.Err(); err != nil {
+		return RegisterResult{}, err
+	}
+	p.mu.Lock()
+	p.ownerIdx = idx
+	p.mu.Unlock()
+	if noAlloc && !res.Exists {
+		return res, nil // no reference taken
+	}
+	home := p.Home()
+	res.Data = rdma.Addr{Node: slabNode, Region: slabRegion, Off: dataOff}
+	res.PL = rdma.Addr{Node: home, Region: metaRegion, Off: slotOff}
+	res.PIB = rdma.Addr{Node: home, Region: metaRegion, Off: slotOff + 8}
+	return res, nil
+}
+
+// Unregister implements page_unregister: drop this node's reference.
+func (p *Pool) Unregister(page types.PageID) error {
+	_, err := p.ep.Call(p.Home(), p.cfg.method("unreg"), p.pageReq(page))
+	return err
+}
+
+// ReadPage implements page_read: one-sided RDMA read of the page into buf.
+func (p *Pool) ReadPage(data rdma.Addr, buf []byte) error {
+	return p.ep.Read(data, buf)
+}
+
+// WritePage implements page_write: one-sided RDMA write of the page, then
+// clear the PIB bit — the remote copy is now the latest version.
+func (p *Pool) WritePage(data rdma.Addr, buf []byte, pib rdma.Addr) error {
+	if err := p.ep.Write(data, buf); err != nil {
+		return err
+	}
+	var zero [8]byte
+	return p.ep.Write(pib, zero[:])
+}
+
+// PIBStale reads the page's home PIB word with a one-sided read: true
+// means the remote copy is outdated (the RW holds a newer local version).
+func (p *Pool) PIBStale(pib rdma.Addr) (bool, error) {
+	v, err := p.ep.Load64(pib)
+	if err != nil {
+		return false, err
+	}
+	return v != pibFresh, nil
+}
+
+// Invalidate implements page_invalidate (RW only): synchronously mark all
+// copies of the page stale, on the home and on every RO local cache.
+func (p *Pool) Invalidate(page types.PageID) error {
+	_, err := p.ep.Call(p.Home(), p.cfg.method("inv"), p.pageReq(page))
+	return err
+}
+
+// ReleaseNodeLatches asks the home to force-release all PL latches held by
+// node (recovery step 6).
+func (p *Pool) ReleaseNodeLatches(node rdma.NodeID) error {
+	w := wire.NewWriter(16)
+	w.String(string(node))
+	_, err := p.ep.Call(p.Home(), p.cfg.method("pl.releasenode"), w.Bytes())
+	return err
+}
+
+func (p *Pool) handleInvalidateCB(from rdma.NodeID, req []byte) ([]byte, error) {
+	rd := wire.NewReader(req)
+	page := types.PageID{Space: types.SpaceID(rd.U32()), No: types.PageNo(rd.U32())}
+	if err := rd.Err(); err != nil {
+		return nil, err
+	}
+	if p.invalidateFn != nil {
+		p.invalidateFn(page)
+	}
+	return nil, nil
+}
+
+func (p *Pool) handleSlabFailCB(from rdma.NodeID, req []byte) ([]byte, error) {
+	rd := wire.NewReader(req)
+	n := int(rd.U32())
+	pages := make([]types.PageID, n)
+	for i := range pages {
+		pages[i] = types.PageID{Space: types.SpaceID(rd.U32()), No: types.PageNo(rd.U32())}
+	}
+	if err := rd.Err(); err != nil {
+		return nil, err
+	}
+	if p.slabFailFn != nil {
+		p.slabFailFn(pages)
+	}
+	return nil, nil
+}

@@ -1,0 +1,714 @@
+package rmem
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+
+	"polardb/internal/rdma"
+	"polardb/internal/types"
+	"polardb/internal/wire"
+)
+
+// metaSlotSize is the per-page metadata footprint in the home's registered
+// region: an 8-byte PL latch word followed by an 8-byte PIB word.
+const metaSlotSize = 16
+
+// pibStale / pibFresh are the PIB word values. A stale page's remote copy
+// is older than the RW node's local copy.
+const (
+	pibFresh = uint64(0)
+	pibStale = uint64(1)
+)
+
+type slabKey struct {
+	node   rdma.NodeID
+	region uint32
+}
+
+type slabInfo struct {
+	key   slabKey
+	pages int
+	free  []int // free slot indexes
+}
+
+type patEntry struct {
+	page    types.PageID
+	slab    slabKey
+	slot    int
+	slotOff uint64 // metadata slot offset in home's meta region
+	refs    map[rdma.NodeID]bool
+	lruElem *list.Element // non-nil while refcount == 0
+}
+
+// Home is the home node of a remote memory pool instance: the slab node
+// holding the first slab plus the instance-wide metadata (PAT, PIB, PRD,
+// PLT) and the control plane for growth, shrink and failure handling.
+type Home struct {
+	ep   *rdma.Endpoint
+	cfg  Config
+	meta *rdma.Region
+
+	mu       sync.Mutex
+	pat      map[uint64]*patEntry
+	slabs    map[slabKey]*slabInfo
+	slabList []*slabInfo
+	lru      *list.List // *patEntry with refcount 0; front = oldest
+	metaFree []uint64
+	nodes    []rdma.NodeID // node index -> id (owner index in PL words)
+	nodeIdx  map[rdma.NodeID]uint16
+	kicked   map[rdma.NodeID]bool
+	passive  bool // slave: no client traffic until promoted
+
+	slaveMu sync.Mutex
+	slave   rdma.NodeID
+
+	stats   Stats
+	closeCh chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewHome starts a home node on ep. slave, if non-empty, names a passive
+// replica home that receives every metadata mutation synchronously.
+func NewHome(ep *rdma.Endpoint, cfg Config, slave rdma.NodeID) *Home {
+	cfg.applyDefaults()
+	h := &Home{
+		ep:      ep,
+		cfg:     cfg,
+		meta:    ep.RegisterRegion(cfg.MetaSlots * metaSlotSize),
+		pat:     make(map[uint64]*patEntry),
+		slabs:   make(map[slabKey]*slabInfo),
+		lru:     list.New(),
+		nodeIdx: make(map[rdma.NodeID]uint16),
+		kicked:  make(map[rdma.NodeID]bool),
+		slave:   slave,
+		closeCh: make(chan struct{}),
+	}
+	for i := cfg.MetaSlots - 1; i >= 0; i-- {
+		h.metaFree = append(h.metaFree, uint64(i*metaSlotSize))
+	}
+	ep.RegisterHandler(cfg.method("hello"), h.handleHello)
+	ep.RegisterHandler(cfg.method("reg"), h.handleRegister)
+	ep.RegisterHandler(cfg.method("unreg"), h.handleUnregister)
+	ep.RegisterHandler(cfg.method("inv"), h.handleInvalidate)
+	ep.RegisterHandler(cfg.method("pl.slow"), h.handlePLSlow)
+	ep.RegisterHandler(cfg.method("pl.releasenode"), h.handlePLReleaseNode)
+	ep.RegisterHandler(cfg.method("repl"), h.handleReplicate)
+	ep.RegisterHandler(cfg.method("scan"), h.handleScan)
+	ep.RegisterHandler(cfg.method("droprefs"), h.handleDropRefs)
+	ep.RegisterHandler(cfg.method("forceevict"), h.handleForceEvict)
+	h.wg.Add(1)
+	go h.backgroundEvictor()
+	if cfg.SlabHeartbeat > 0 {
+		h.wg.Add(1)
+		go h.slabHeartbeat()
+	}
+	return h
+}
+
+// slabHeartbeat detects slab node failures (§5.2): the home pings every
+// node hosting slabs; after SlabHeartbeatMisses consecutive misses the
+// node's pages are dropped and holders notified.
+func (h *Home) slabHeartbeat() {
+	defer h.wg.Done()
+	misses := make(map[rdma.NodeID]int)
+	for {
+		select {
+		case <-h.closeCh:
+			return
+		case <-time.After(h.cfg.SlabHeartbeat):
+		}
+		if h.passiveNow() {
+			continue
+		}
+		h.mu.Lock()
+		nodes := map[rdma.NodeID]bool{}
+		for key := range h.slabs {
+			nodes[key.node] = true
+		}
+		h.mu.Unlock()
+		for n := range nodes {
+			if n == h.ep.ID() {
+				continue // the home's own slabs share its fate
+			}
+			if _, err := h.ep.CallTimeout(n, h.cfg.method("slab.ping"), nil, h.cfg.SlabHeartbeat); err != nil {
+				misses[n]++
+				if misses[n] >= h.cfg.SlabHeartbeatMisses {
+					delete(misses, n)
+					h.HandleSlabFailure(n)
+				}
+			} else {
+				misses[n] = 0
+			}
+		}
+	}
+}
+
+func (h *Home) passiveNow() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.passive
+}
+
+// NewSlaveHome starts a passive replica home: it applies replicated
+// metadata mutations but serves no clients until Promote is called.
+func NewSlaveHome(ep *rdma.Endpoint, cfg Config) *Home {
+	h := NewHome(ep, cfg, "")
+	h.mu.Lock()
+	h.passive = true
+	h.mu.Unlock()
+	return h
+}
+
+// Promote activates a slave home after the master failed. PL latch state
+// is not replicated (latches die with the master; recovery releases them),
+// and every PIB bit is conservatively stale, so database nodes re-validate
+// pages against storage on first access.
+func (h *Home) Promote() {
+	h.mu.Lock()
+	h.passive = false
+	for _, e := range h.pat {
+		_ = h.meta.Store64Local(e.slotOff+8, pibStale)
+	}
+	h.mu.Unlock()
+}
+
+// Close stops the home's background goroutines.
+func (h *Home) Close() {
+	close(h.closeCh)
+	h.wg.Wait()
+}
+
+// Endpoint returns the home's fabric endpoint.
+func (h *Home) Endpoint() *rdma.Endpoint { return h.ep }
+
+// MetaRegionID returns the id of the RDMA-registered metadata region
+// (clients build PL/PIB addresses from it).
+func (h *Home) MetaRegionID() uint32 { return h.meta.ID() }
+
+// Stats returns an occupancy snapshot.
+func (h *Home) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.stats
+	for _, sl := range h.slabs {
+		s.Slabs++
+		s.TotalSlots += sl.pages
+		s.FreeSlots += len(sl.free)
+	}
+	s.UsedSlots = len(h.pat)
+	for _, e := range h.pat {
+		if len(e.refs) > 0 {
+			s.Referenced++
+		}
+	}
+	return s
+}
+
+// isKicked reports whether a node has been removed from the cluster.
+func (h *Home) isKicked(n rdma.NodeID) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.kicked[n]
+}
+
+// kickNode marks a node dead and strips its references everywhere.
+func (h *Home) kickNode(n rdma.NodeID) {
+	h.mu.Lock()
+	if h.kicked[n] {
+		h.mu.Unlock()
+		return
+	}
+	h.kicked[n] = true
+	for _, e := range h.pat {
+		if e.refs[n] {
+			delete(e.refs, n)
+			if len(e.refs) == 0 && e.lruElem == nil {
+				e.lruElem = h.lru.PushBack(e)
+			}
+		}
+	}
+	h.mu.Unlock()
+	if h.cfg.OnUnresponsive != nil {
+		h.cfg.OnUnresponsive(n)
+	}
+}
+
+// nodeIndex assigns (or returns) the small integer index for a node id,
+// used as the owner field in PL words.
+func (h *Home) nodeIndex(n rdma.NodeID) uint16 {
+	if idx, ok := h.nodeIdx[n]; ok {
+		return idx
+	}
+	idx := uint16(len(h.nodes))
+	h.nodes = append(h.nodes, n)
+	h.nodeIdx[n] = idx
+	return idx
+}
+
+// AddSlab asks a slab node to create a slab of `pages` pages and adds it
+// to the pool. Returns the new total slot count.
+func (h *Home) AddSlab(node rdma.NodeID, pages int) (int, error) {
+	if pages <= 0 {
+		pages = h.cfg.SlabPages
+	}
+	w := wire.NewWriter(8)
+	w.U32(uint32(pages))
+	resp, err := h.ep.Call(node, h.cfg.method("slab.create"), w.Bytes())
+	if err != nil {
+		return 0, fmt.Errorf("rmem: creating slab on %s: %w", node, err)
+	}
+	rd := wire.NewReader(resp)
+	region := rd.U32()
+	got := int(rd.U32())
+	if err := rd.Err(); err != nil {
+		return 0, err
+	}
+	h.mu.Lock()
+	h.addSlabLocked(slabKey{node, region}, got)
+	total := 0
+	for _, sl := range h.slabs {
+		total += sl.pages
+	}
+	h.mu.Unlock()
+	h.replicate(replAddSlab(node, region, got))
+	return total, nil
+}
+
+func (h *Home) addSlabLocked(key slabKey, pages int) {
+	sl := &slabInfo{key: key, pages: pages}
+	for i := pages - 1; i >= 0; i-- {
+		sl.free = append(sl.free, i)
+	}
+	h.slabs[key] = sl
+	h.slabList = append(h.slabList, sl)
+}
+
+// TotalSlots returns the pool capacity in pages.
+func (h *Home) TotalSlots() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	total := 0
+	for _, sl := range h.slabs {
+		total += sl.pages
+	}
+	return total
+}
+
+// Shrink reduces the pool capacity to at most targetSlots (at least one
+// slab is always kept): unreferenced pages are evicted via LRU, and
+// referenced pages in victim slabs are migrated to the retained slabs to
+// defragment (§3.1.2: "pages are migrated in the background to
+// defragment, and unused slabs are released"). Holders of migrated pages
+// are notified to drop their stale remote addresses and re-register.
+func (h *Home) Shrink(targetSlots int) (int, error) {
+	h.mu.Lock()
+	total := func() int {
+		t := 0
+		for _, sl := range h.slabs {
+			t += sl.pages
+		}
+		return t
+	}
+	releaseEmpty := func() {
+		for total() > targetSlots && len(h.slabs) > 1 {
+			var victim *slabInfo
+			for _, sl := range h.slabs {
+				if len(sl.free) == sl.pages {
+					victim = sl
+					break
+				}
+			}
+			if victim == nil {
+				return
+			}
+			h.removeSlabLocked(victim.key)
+		}
+	}
+	// Phase 1: LRU-evict unreferenced pages, releasing drained slabs.
+	releaseEmpty()
+	for total() > targetSlots && h.lru.Len() > 0 {
+		h.evictLocked(h.lru.Front().Value.(*patEntry))
+		releaseEmpty()
+	}
+	// Phase 2: drain the emptiest slabs by force-evicting their remaining
+	// (referenced) pages. Holders drop their stale remote addresses and
+	// re-register on next access; page contents are always reconstructible
+	// from storage (log-before-page invariant), so nothing is lost. This
+	// produces exactly the behaviour the paper reports for scale-in:
+	// "performance drops immediately, as slabs and pages are removed from
+	// the remote buffer pool at once" (§6.2).
+	for total() > targetSlots && len(h.slabs) > 1 {
+		var victim *slabInfo
+		for _, sl := range h.slabList {
+			used := sl.pages - len(sl.free)
+			if victim == nil || used < victim.pages-len(victim.free) {
+				victim = sl
+			}
+		}
+		if victim == nil {
+			break
+		}
+		var evict []*patEntry
+		holders := map[rdma.NodeID][]types.PageID{}
+		for _, e := range h.pat {
+			if e.slab != victim.key {
+				continue
+			}
+			for n := range e.refs {
+				holders[n] = append(holders[n], e.page)
+			}
+			evict = append(evict, e)
+		}
+		for _, e := range evict {
+			e.refs = map[rdma.NodeID]bool{}
+			if e.lruElem == nil {
+				e.lruElem = h.lru.PushBack(e)
+			}
+			h.evictLocked(e)
+		}
+		h.removeSlabLocked(victim.key)
+		h.mu.Unlock()
+		for n, pages := range holders {
+			w := wire.NewWriter(8 * len(pages))
+			w.U32(uint32(len(pages)))
+			for _, pg := range pages {
+				w.U32(uint32(pg.Space))
+				w.U32(uint32(pg.No))
+			}
+			_, _ = h.ep.CallTimeout(n, h.cfg.method("cb.slabfail"), w.Bytes(), h.cfg.InvalidateTimeout)
+		}
+		h.mu.Lock()
+	}
+	defer h.mu.Unlock()
+	return total(), nil
+}
+
+func (h *Home) removeSlabLocked(key slabKey) {
+	delete(h.slabs, key)
+	for i, sl := range h.slabList {
+		if sl.key == key {
+			h.slabList = append(h.slabList[:i], h.slabList[i+1:]...)
+			break
+		}
+	}
+	// Free the slab node's memory asynchronously; holding h.mu across an
+	// RPC to a possibly-dead node would stall the pool.
+	go func() {
+		w := wire.NewWriter(8)
+		w.U32(key.region)
+		_, _ = h.ep.Call(key.node, h.cfg.method("slab.free"), w.Bytes())
+	}()
+	h.replicate(replFreeSlab(key.node, key.region))
+}
+
+// allocateLocked finds a free slot, evicting LRU unreferenced pages if
+// necessary. Thanks to page materialization offloading, even dirty pages
+// can be evicted instantaneously without flushing to storage.
+func (h *Home) allocateLocked() (slabKey, int, error) {
+	for {
+		// Best-fit: pack into the fullest slab with space, so shrink finds
+		// drainable slabs instead of allocations spread across all of them.
+		var best *slabInfo
+		for _, sl := range h.slabList {
+			if len(sl.free) > 0 && (best == nil || len(sl.free) < len(best.free)) {
+				best = sl
+			}
+		}
+		if best != nil {
+			slot := best.free[len(best.free)-1]
+			best.free = best.free[:len(best.free)-1]
+			return best.key, slot, nil
+		}
+		if h.lru.Len() == 0 {
+			return slabKey{}, 0, ErrOutOfMemory
+		}
+		h.evictLocked(h.lru.Front().Value.(*patEntry))
+	}
+}
+
+// evictLocked removes an unreferenced page from the pool.
+func (h *Home) evictLocked(e *patEntry) {
+	if e.lruElem != nil {
+		h.lru.Remove(e.lruElem)
+		e.lruElem = nil
+	}
+	delete(h.pat, e.page.Key())
+	if sl, ok := h.slabs[e.slab]; ok {
+		sl.free = append(sl.free, e.slot)
+	}
+	// Reset the metadata slot before reuse.
+	_ = h.meta.Store64Local(e.slotOff, 0)
+	_ = h.meta.Store64Local(e.slotOff+8, pibStale)
+	h.metaFree = append(h.metaFree, e.slotOff)
+	h.stats.Evictions++
+	h.replicate(replEvict(e.page))
+}
+
+// backgroundEvictor keeps free slots above the low-water mark so that
+// foreground registrations rarely pay eviction cost.
+func (h *Home) backgroundEvictor() {
+	defer h.wg.Done()
+	if h.cfg.FreeLowWater <= 0 {
+		return
+	}
+	for {
+		select {
+		case <-h.closeCh:
+			return
+		case <-time.After(h.cfg.EvictInterval):
+		}
+		h.mu.Lock()
+		total, free := 0, 0
+		for _, sl := range h.slabs {
+			total += sl.pages
+			free += len(sl.free)
+		}
+		if total > 0 {
+			for float64(free)/float64(total) < h.cfg.FreeLowWater && h.lru.Len() > 0 {
+				h.evictLocked(h.lru.Front().Value.(*patEntry))
+				free++
+			}
+		}
+		h.mu.Unlock()
+	}
+}
+
+var errPassive = fmt.Errorf("rmem: home is a passive slave replica")
+
+// activeErr rejects client traffic on a not-yet-promoted slave.
+func (h *Home) activeErr() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.passive {
+		return errPassive
+	}
+	return nil
+}
+
+// handleHello assigns (or returns) the caller's node index.
+func (h *Home) handleHello(from rdma.NodeID, req []byte) ([]byte, error) {
+	if err := h.activeErr(); err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	idx := h.nodeIndex(from)
+	h.mu.Unlock()
+	w := wire.NewWriter(2)
+	w.U16(idx)
+	return w.Bytes(), nil
+}
+
+// handleRegister implements page_register: look up or allocate the page,
+// add the caller to the PRD, and return the page's remote address plus the
+// PL and PIB word addresses.
+func (h *Home) handleRegister(from rdma.NodeID, req []byte) ([]byte, error) {
+	if err := h.activeErr(); err != nil {
+		return nil, err
+	}
+	rd := wire.NewReader(req)
+	page := types.PageID{Space: types.SpaceID(rd.U32()), No: types.PageNo(rd.U32())}
+	noAlloc := false
+	if rd.Remaining() > 0 {
+		noAlloc = rd.Bool()
+	}
+	if err := rd.Err(); err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	h.stats.Registers++
+	delete(h.kicked, from) // a registering node is alive by definition
+	idx := h.nodeIndex(from)
+	k := page.Key()
+	e, exists := h.pat[k]
+	if !exists && noAlloc {
+		// Cache-pollution guard (§3.1.3): a scan checks for an existing
+		// remote copy but never allocates one.
+		h.mu.Unlock()
+		resp := wire.NewWriter(8)
+		resp.Bool(false)
+		resp.String("")
+		resp.U32(0)
+		resp.U64(0)
+		resp.U32(h.meta.ID())
+		resp.U64(0)
+		resp.U16(idx)
+		return resp.Bytes(), nil
+	}
+	if exists {
+		h.stats.Hits++
+		if e.lruElem != nil {
+			h.lru.Remove(e.lruElem)
+			e.lruElem = nil
+		}
+		e.refs[from] = true
+	} else {
+		if len(h.metaFree) == 0 {
+			h.mu.Unlock()
+			return nil, ErrMetaFull
+		}
+		slab, slot, err := h.allocateLocked()
+		if err != nil {
+			h.mu.Unlock()
+			return nil, err
+		}
+		slotOff := h.metaFree[len(h.metaFree)-1]
+		h.metaFree = h.metaFree[:len(h.metaFree)-1]
+		e = &patEntry{page: page, slab: slab, slot: slot, slotOff: slotOff,
+			refs: map[rdma.NodeID]bool{from: true}}
+		h.pat[k] = e
+		_ = h.meta.Store64Local(slotOff, 0)
+		_ = h.meta.Store64Local(slotOff+8, pibStale) // no data written yet
+		h.replicate(replRegister(page, e.slab, e.slot, from))
+	}
+	if exists {
+		h.replicate(replAddRef(page, from))
+	}
+	resp := wire.NewWriter(64)
+	resp.Bool(exists)
+	resp.String(string(e.slab.node))
+	resp.U32(e.slab.region)
+	resp.U64(uint64(e.slot) * types.PageSize)
+	resp.U32(h.meta.ID())
+	resp.U64(e.slotOff)
+	resp.U16(idx)
+	h.mu.Unlock()
+	return resp.Bytes(), nil
+}
+
+// handleUnregister implements page_unregister: drop the caller's reference;
+// at refcount 0 the page becomes evictable (LRU).
+func (h *Home) handleUnregister(from rdma.NodeID, req []byte) ([]byte, error) {
+	if err := h.activeErr(); err != nil {
+		return nil, err
+	}
+	rd := wire.NewReader(req)
+	page := types.PageID{Space: types.SpaceID(rd.U32()), No: types.PageNo(rd.U32())}
+	if err := rd.Err(); err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e, ok := h.pat[page.Key()]
+	if !ok {
+		return nil, nil // already evicted
+	}
+	delete(e.refs, from)
+	if len(e.refs) == 0 && e.lruElem == nil {
+		e.lruElem = h.lru.PushBack(e)
+	}
+	h.replicate(replUnref(page, from))
+	return nil, nil
+}
+
+// handleInvalidate implements page_invalidate (§3.1.4, Figure 6): set the
+// home PIB bit, look up the PRD, and synchronously set the local PIB bit
+// on every other node holding a copy. Unresponsive nodes are kicked so the
+// invalidation always completes.
+func (h *Home) handleInvalidate(from rdma.NodeID, req []byte) ([]byte, error) {
+	if err := h.activeErr(); err != nil {
+		return nil, err
+	}
+	rd := wire.NewReader(req)
+	page := types.PageID{Space: types.SpaceID(rd.U32()), No: types.PageNo(rd.U32())}
+	if err := rd.Err(); err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	e, ok := h.pat[page.Key()]
+	if !ok {
+		h.mu.Unlock()
+		return nil, nil // not cached remotely: nothing to invalidate
+	}
+	h.stats.Invalidations++
+	_ = h.meta.Store64Local(e.slotOff+8, pibStale)
+	targets := make([]rdma.NodeID, 0, len(e.refs))
+	for n := range e.refs {
+		if n != from {
+			targets = append(targets, n)
+		}
+	}
+	h.mu.Unlock()
+	h.replicate(replInvalidate(page))
+
+	msg := wire.NewWriter(8)
+	msg.U32(uint32(page.Space))
+	msg.U32(uint32(page.No))
+	var kicked []rdma.NodeID
+	for _, n := range targets {
+		_, err := h.ep.CallTimeout(n, h.cfg.method("cb.inv"), msg.Bytes(), h.cfg.InvalidateTimeout)
+		if err != nil {
+			kicked = append(kicked, n)
+		}
+	}
+	if len(kicked) > 0 {
+		h.mu.Lock()
+		for _, n := range kicked {
+			for _, pe := range h.pat {
+				delete(pe.refs, n)
+				if len(pe.refs) == 0 && pe.lruElem == nil {
+					pe.lruElem = h.lru.PushBack(pe)
+				}
+			}
+		}
+		h.mu.Unlock()
+		if h.cfg.OnUnresponsive != nil {
+			for _, n := range kicked {
+				h.cfg.OnUnresponsive(n)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// HandleSlabFailure processes a slab node crash (§5.2): every page on that
+// node's slabs is dropped from the PAT; holders are told so they fall back
+// to storage (or re-register from the RW's local cache).
+func (h *Home) HandleSlabFailure(node rdma.NodeID) {
+	h.mu.Lock()
+	var lost []*patEntry
+	for _, e := range h.pat {
+		if e.slab.node == node {
+			lost = append(lost, e)
+		}
+	}
+	holders := make(map[rdma.NodeID][]types.PageID)
+	for _, e := range lost {
+		for n := range e.refs {
+			holders[n] = append(holders[n], e.page)
+		}
+		if e.lruElem != nil {
+			h.lru.Remove(e.lruElem)
+			e.lruElem = nil
+		}
+		delete(h.pat, e.page.Key())
+		_ = h.meta.Store64Local(e.slotOff, 0)
+		_ = h.meta.Store64Local(e.slotOff+8, pibStale)
+		h.metaFree = append(h.metaFree, e.slotOff)
+		h.replicate(replEvict(e.page))
+	}
+	// Remove the dead node's slabs from the pool.
+	for key := range h.slabs {
+		if key.node == node {
+			delete(h.slabs, key)
+			for i, sl := range h.slabList {
+				if sl.key == key {
+					h.slabList = append(h.slabList[:i], h.slabList[i+1:]...)
+					break
+				}
+			}
+			h.replicate(replFreeSlab(key.node, key.region))
+		}
+	}
+	h.mu.Unlock()
+	for n, pages := range holders {
+		w := wire.NewWriter(8 * len(pages))
+		w.U32(uint32(len(pages)))
+		for _, p := range pages {
+			w.U32(uint32(p.Space))
+			w.U32(uint32(p.No))
+		}
+		_, _ = h.ep.CallTimeout(n, h.cfg.method("cb.slabfail"), w.Bytes(), h.cfg.InvalidateTimeout)
+	}
+}

@@ -1,0 +1,235 @@
+package txn
+
+import (
+	"sync"
+
+	"polardb/internal/rdma"
+	"polardb/internal/types"
+	"polardb/internal/wire"
+)
+
+// CTS region layout on the RW node. The whole region is registered with
+// the RDMA NIC so RO nodes can read timestamps and look up the CTS log
+// with one-sided verbs, never consuming RW CPU (§3.3).
+//
+//	word 0: CTS counter (fetch-and-add)
+//	word 1: published redo LSN (the SMO clock for optimistic traversals)
+//	word 2: min active trx id (advisory; see ReadView)
+//	16-byte slots from ctsLogBase: CTS log — (trxID, cts_commit) of the
+//	most recent read-write transactions, indexed by trxID % slots.
+const (
+	ctsCounterOff = 0
+	ctsLSNOff     = 8
+	ctsMinActOff  = 16
+	ctsLogBase    = 64
+)
+
+// DefaultCTSSlots is the default CTS log capacity (the paper keeps the
+// last ~1,000,000 transactions; we scale down with the rest).
+const DefaultCTSSlots = 1 << 14
+
+// RegionSize returns the byte size of a CTS region with the given slots.
+func RegionSize(slots int) int { return ctsLogBase + slots*16 }
+
+// Service is the RW-node side of the CTS sequence and log.
+type Service struct {
+	region *rdma.Region
+	slots  int
+	mu     sync.Mutex // serializes slot writes (seqlock-free simulation)
+}
+
+// NewService wraps an RDMA-registered region (of RegionSize bytes). The
+// counter starts at 1 so timestamp 0 means "unset".
+func NewService(region *rdma.Region, slots int) *Service {
+	if slots == 0 {
+		slots = DefaultCTSSlots
+	}
+	s := &Service{region: region, slots: slots}
+	_ = region.Store64Local(ctsCounterOff, 1)
+	return s
+}
+
+// Slots returns the CTS log capacity.
+func (s *Service) Slots() int { return s.slots }
+
+// NextTS allocates a new monotonic timestamp (cts_read / cts_commit).
+func (s *Service) NextTS() types.Timestamp {
+	v, err := s.region.FetchAdd64Local(ctsCounterOff, 1)
+	if err != nil {
+		panic("txn: cts region misconfigured: " + err.Error())
+	}
+	return types.Timestamp(v + 1)
+}
+
+// SetCounter forces the sequence to continue from ts (recovery restores
+// the persisted high watermark so new timestamps exceed every old one).
+func (s *Service) SetCounter(ts types.Timestamp) {
+	_ = s.region.Store64Local(ctsCounterOff, uint64(ts))
+}
+
+// CurrentTS returns the latest allocated timestamp without advancing.
+func (s *Service) CurrentTS() types.Timestamp {
+	v, _ := s.region.Load64Local(ctsCounterOff)
+	return types.Timestamp(v)
+}
+
+// PublishLSN exposes the redo LSN to RO nodes (SMO clock, §4.1).
+func (s *Service) PublishLSN(lsn types.LSN) {
+	_ = s.region.Store64Local(ctsLSNOff, uint64(lsn))
+}
+
+// PublishedLSN reads back the published LSN locally.
+func (s *Service) PublishedLSN() types.LSN {
+	v, _ := s.region.Load64Local(ctsLSNOff)
+	return types.LSN(v)
+}
+
+// SetMinActive publishes the oldest active transaction id.
+func (s *Service) SetMinActive(trx types.TrxID) {
+	_ = s.region.Store64Local(ctsMinActOff, uint64(trx))
+}
+
+func (s *Service) slotOff(trx types.TrxID) uint64 {
+	return uint64(ctsLogBase) + (uint64(trx)%uint64(s.slots))*16
+}
+
+// BeginInLog claims the transaction's CTS log slot with cts 0 (active).
+// Returns false if the slot is still owned by a different *uncommitted*
+// transaction — callers treat that as too many in-flight transactions.
+func (s *Service) BeginInLog(trx types.TrxID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	off := s.slotOff(trx)
+	var cur [16]byte
+	_ = s.region.ReadLocal(off, cur[:])
+	curTrx := types.TrxID(getU64(cur[0:]))
+	curCTS := getU64(cur[8:])
+	if curTrx != 0 && curTrx != trx && curCTS == 0 {
+		return false
+	}
+	var buf [16]byte
+	putU64(buf[0:], uint64(trx))
+	_ = s.region.WriteLocal(off, buf[:])
+	return true
+}
+
+// RecordCommit publishes the transaction's commit timestamp in the log.
+func (s *Service) RecordCommit(trx types.TrxID, cts types.Timestamp) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf [16]byte
+	putU64(buf[0:], uint64(trx))
+	putU64(buf[8:], uint64(cts))
+	_ = s.region.WriteLocal(s.slotOff(trx), buf[:])
+}
+
+// ClearSlot marks an aborted transaction's slot free (after rollback).
+func (s *Service) ClearSlot(trx types.TrxID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	off := s.slotOff(trx)
+	var cur [16]byte
+	_ = s.region.ReadLocal(off, cur[:])
+	if types.TrxID(getU64(cur[0:])) == trx {
+		var zero [16]byte
+		_ = s.region.WriteLocal(off, zero[:])
+	}
+}
+
+// Lookup resolves a transaction's commit status from the local CTS log.
+func (s *Service) Lookup(trx types.TrxID) (cts types.Timestamp, known bool) {
+	var buf [16]byte
+	_ = s.region.ReadLocal(s.slotOff(trx), buf[:])
+	return decodeSlot(trx, buf[:])
+}
+
+func decodeSlot(trx types.TrxID, buf []byte) (types.Timestamp, bool) {
+	if types.TrxID(getU64(buf[0:])) != trx {
+		return 0, false // slot reused by a newer transaction
+	}
+	return types.Timestamp(getU64(buf[8:])), true
+}
+
+// Client is the RO-node view of the CTS region, using one-sided RDMA.
+type Client struct {
+	ep     *rdma.Endpoint
+	rw     rdma.NodeID
+	region uint32
+	slots  int
+}
+
+// NewClient builds a CTS client addressing the RW node's CTS region.
+func NewClient(ep *rdma.Endpoint, rw rdma.NodeID, region uint32, slots int) *Client {
+	if slots == 0 {
+		slots = DefaultCTSSlots
+	}
+	return &Client{ep: ep, rw: rw, region: region, slots: slots}
+}
+
+// SetRW repoints the client after an RW failover.
+func (c *Client) SetRW(rw rdma.NodeID, region uint32) {
+	c.rw = rw
+	c.region = region
+}
+
+func (c *Client) addr(off uint64) rdma.Addr {
+	return rdma.Addr{Node: c.rw, Region: c.region, Off: off}
+}
+
+// ReadTS reads the current timestamp (a read-only transaction's cts_read)
+// with a single one-sided read.
+func (c *Client) ReadTS() (types.Timestamp, error) {
+	v, err := c.ep.Load64(c.addr(ctsCounterOff))
+	return types.Timestamp(v), err
+}
+
+// NextTS allocates a timestamp remotely via RDMA fetch-and-add (used when
+// an RO coordinates a cross-node operation needing a unique timestamp).
+func (c *Client) NextTS() (types.Timestamp, error) {
+	v, err := c.ep.FetchAdd64(c.addr(ctsCounterOff), 1)
+	return types.Timestamp(v + 1), err
+}
+
+// ReadLSN reads the published redo LSN (SMO clock) one-sided.
+func (c *Client) ReadLSN() (types.LSN, error) {
+	v, err := c.ep.Load64(c.addr(ctsLSNOff))
+	return types.LSN(v), err
+}
+
+// Lookup resolves a transaction's commit status by reading its CTS log
+// slot with one one-sided RDMA read — no RW CPU involved.
+func (c *Client) Lookup(trx types.TrxID) (cts types.Timestamp, known bool, err error) {
+	var buf [16]byte
+	off := uint64(ctsLogBase) + (uint64(trx)%uint64(c.slots))*16
+	if err := c.ep.Read(c.addr(off), buf[:]); err != nil {
+		return 0, false, err
+	}
+	cts, known = decodeSlot(trx, buf[:])
+	return cts, known, nil
+}
+
+// ViewRPCMethod is the RPC the RW node serves for read-view snapshots.
+const ViewRPCMethod = "cts.view"
+
+// MarshalView encodes a read-view snapshot for the view RPC.
+func MarshalView(readTS types.Timestamp, active []types.TrxID) []byte {
+	w := wire.NewWriter(16 + 8*len(active))
+	w.U64(uint64(readTS))
+	w.U32(uint32(len(active)))
+	for _, t := range active {
+		w.U64(uint64(t))
+	}
+	return w.Bytes()
+}
+
+// UnmarshalView decodes a read-view snapshot.
+func UnmarshalView(buf []byte) (types.Timestamp, []types.TrxID, error) {
+	rd := wire.NewReader(buf)
+	ts := types.Timestamp(rd.U64())
+	n := int(rd.U32())
+	active := make([]types.TrxID, n)
+	for i := range active {
+		active[i] = types.TrxID(rd.U64())
+	}
+	return ts, active, rd.Err()
+}

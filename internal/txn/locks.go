@@ -1,0 +1,115 @@
+package txn
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"polardb/internal/types"
+)
+
+// LockTable is the RW node's in-memory row lock table. Writes take
+// exclusive row locks (2PL for writers; readers never lock — snapshot
+// isolation). The table is volatile: after an RW crash, recovery rolls
+// back every active transaction, so no lock state needs to survive.
+type LockTable struct {
+	mu   sync.Mutex
+	rows map[lockKey]*rowLock
+	wait time.Duration
+}
+
+type lockKey struct {
+	space types.SpaceID
+	key   uint64
+}
+
+type rowLock struct {
+	owner   types.TrxID
+	depth   int        // re-entrant count for the owner
+	waiters *list.List // of chan struct{}
+}
+
+// NewLockTable creates a lock table with the given wait timeout.
+func NewLockTable(wait time.Duration) *LockTable {
+	if wait == 0 {
+		wait = time.Second
+	}
+	return &LockTable{rows: make(map[lockKey]*rowLock), wait: wait}
+}
+
+// Lock acquires the exclusive row lock for (space, key), blocking up to
+// the wait timeout. Re-entrant for the owning transaction. A timeout
+// returns ErrLockTimeout; the caller aborts the transaction (simple
+// deadlock resolution by timeout, as in InnoDB's innodb_lock_wait_timeout).
+func (t *LockTable) Lock(trx types.TrxID, space types.SpaceID, key uint64) error {
+	k := lockKey{space, key}
+	deadline := time.Now().Add(t.wait)
+	for {
+		t.mu.Lock()
+		rl, ok := t.rows[k]
+		if !ok {
+			t.rows[k] = &rowLock{owner: trx, depth: 1, waiters: list.New()}
+			t.mu.Unlock()
+			return nil
+		}
+		if rl.owner == trx {
+			rl.depth++
+			t.mu.Unlock()
+			return nil
+		}
+		ch := make(chan struct{})
+		elem := rl.waiters.PushBack(ch)
+		t.mu.Unlock()
+
+		select {
+		case <-ch:
+			// Woken: the lock was handed over or freed; retry.
+		case <-time.After(time.Until(deadline)):
+			t.mu.Lock()
+			// The wake may have raced the timeout; if we were woken the
+			// channel is closed and we should retry rather than fail.
+			select {
+			case <-ch:
+				t.mu.Unlock()
+				continue
+			default:
+			}
+			if rl2, ok := t.rows[k]; ok && rl2 == rl {
+				rl.waiters.Remove(elem)
+			}
+			t.mu.Unlock()
+			return ErrLockTimeout
+		}
+	}
+}
+
+// ReleaseAll frees every lock held by trx (commit/rollback releases all
+// 2PL locks at once; re-entrant depth is irrelevant at transaction end).
+func (t *LockTable) ReleaseAll(trx types.TrxID, held []LockRef) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, h := range held {
+		k := lockKey{h.Space, h.Key}
+		rl, ok := t.rows[k]
+		if !ok || rl.owner != trx {
+			continue
+		}
+		delete(t.rows, k)
+		for e := rl.waiters.Front(); e != nil; e = e.Next() {
+			close(e.Value.(chan struct{}))
+		}
+	}
+}
+
+// LockRef names a held lock, tracked by the transaction.
+type LockRef struct {
+	Space types.SpaceID
+	Key   uint64
+}
+
+// Held reports the number of locked rows (tests / introspection).
+func (t *LockTable) Held() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.rows)
+}

@@ -1,0 +1,82 @@
+package txn
+
+import (
+	"polardb/internal/types"
+)
+
+// Visibility is a read view's judgement of one record version.
+type Visibility int
+
+const (
+	// Invisible: this version is too new (or uncommitted); walk the undo
+	// chain to an older version.
+	Invisible Visibility = iota
+	// Visible: this version is what the snapshot sees.
+	Visible
+	// VisibleOwn: the reading transaction's own uncommitted write.
+	VisibleOwn
+)
+
+// CTSLookup resolves a transaction id to (cts_commit, known). known=false
+// means the CTS log slot was reused by a newer transaction — the id is
+// older than everything in the log.
+type CTSLookup func(types.TrxID) (types.Timestamp, bool, error)
+
+// ReadView is a snapshot-isolation read view: everything committed with
+// cts_commit < ReadTS is visible; the transactions in Active (in flight
+// when the view was created, including crash-recovery rollbacks in
+// progress) are not, regardless of timestamps.
+type ReadView struct {
+	ReadTS types.Timestamp
+	OwnTrx types.TrxID // 0 for read-only transactions
+	Active map[types.TrxID]bool
+}
+
+// NewReadView builds a view from a snapshot taken under the txn table lock.
+func NewReadView(readTS types.Timestamp, own types.TrxID, active []types.TrxID) *ReadView {
+	v := &ReadView{ReadTS: readTS, OwnTrx: own, Active: make(map[types.TrxID]bool, len(active))}
+	for _, t := range active {
+		if t != own {
+			v.Active[t] = true
+		}
+	}
+	return v
+}
+
+// Judge decides a record version's visibility. lookup consults the CTS
+// log when the record's cts has not been backfilled yet (one-sided RDMA
+// read on RO nodes).
+func (v *ReadView) Judge(rec *Record, lookup CTSLookup) (Visibility, error) {
+	if rec.Trx == v.OwnTrx && v.OwnTrx != 0 {
+		return VisibleOwn, nil
+	}
+	if v.Active[rec.Trx] {
+		return Invisible, nil
+	}
+	if rec.CTS != 0 {
+		if rec.CTS < v.ReadTS {
+			return Visible, nil
+		}
+		return Invisible, nil
+	}
+	// cts not yet backfilled: consult the CTS log.
+	cts, known, err := lookup(rec.Trx)
+	if err != nil {
+		return Invisible, err
+	}
+	if !known {
+		// The slot was reused: rec.Trx is older than every transaction in
+		// the log. It is not in Active (checked above), so it finished
+		// before this view began; an aborted transaction would have been
+		// rolled back (its record restored), so it committed — and its
+		// commit preceded the view's creation, hence cts < ReadTS.
+		return Visible, nil
+	}
+	if cts == 0 {
+		return Invisible, nil // still uncommitted
+	}
+	if cts < v.ReadTS {
+		return Visible, nil
+	}
+	return Invisible, nil
+}

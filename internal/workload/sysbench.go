@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"polardb/internal/cluster"
+)
+
+// Sysbench models the sysbench OLTP table: sbtest(id PK, k, c, pad).
+type Sysbench struct {
+	// Rows is the table size.
+	Rows uint64
+	// PayloadSize approximates sysbench's c+pad columns (default 120 B).
+	PayloadSize int
+	// Dist selects uniform or skewed point keys.
+	Dist Distribution
+	// RangeSize is the span of oltp range queries (default 100).
+	RangeSize uint64
+}
+
+func (s *Sysbench) defaults() {
+	if s.PayloadSize == 0 {
+		s.PayloadSize = 120
+	}
+	if s.RangeSize == 0 {
+		s.RangeSize = 100
+	}
+}
+
+// TableName is the sysbench table.
+const TableName = "sbtest"
+
+// Load creates and populates the sysbench table through the proxy.
+func (s *Sysbench) Load(c *cluster.Cluster) error {
+	s.defaults()
+	if _, err := c.RW.Engine.CreateTable(TableName); err != nil {
+		return err
+	}
+	sess := c.Proxy.Connect()
+	defer sess.Close()
+	const batch = 100
+	for base := uint64(0); base < s.Rows; base += batch {
+		if err := sess.Begin(); err != nil {
+			return err
+		}
+		for k := base; k < base+batch && k < s.Rows; k++ {
+			if err := sess.Exec(TableName, cluster.OpInsert, k, payload(s.PayloadSize, byte(k))); err != nil {
+				_ = sess.Rollback()
+				return fmt.Errorf("sysbench load at %d: %w", k, err)
+			}
+		}
+		if err := sess.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadOnlyTxn runs one oltp_read_only transaction: 10 point selects plus
+// one range select of RangeSize rows (the paper's Figure 8 uses range
+// selects). Returns the number of rows read.
+func (s *Sysbench) ReadOnlyTxn(sess *cluster.Session, rng *rand.Rand) (int, error) {
+	s.defaults()
+	rows := 0
+	for i := 0; i < 10; i++ {
+		k := pick(rng, s.Dist, s.Rows)
+		_, ok, err := sess.Get(TableName, k)
+		if err != nil {
+			return rows, err
+		}
+		if ok {
+			rows++
+		}
+	}
+	start := pick(rng, s.Dist, s.Rows)
+	err := sess.Scan(TableName, start, start+s.RangeSize, func(uint64, []byte) bool {
+		rows++
+		return true
+	})
+	return rows, err
+}
+
+// RangeTxn runs a single range select (Figure 8's workload).
+func (s *Sysbench) RangeTxn(sess *cluster.Session, rng *rand.Rand) (int, error) {
+	s.defaults()
+	start := pick(rng, s.Dist, s.Rows)
+	rows := 0
+	err := sess.Scan(TableName, start, start+s.RangeSize, func(uint64, []byte) bool {
+		rows++
+		return true
+	})
+	return rows, err
+}
+
+// ReadWriteTxn runs one oltp_read_write transaction: 10 point selects, 1
+// range select, 2 index updates, and 1 delete+insert, all in one
+// transaction (sysbench's default mix, scaled).
+func (s *Sysbench) ReadWriteTxn(sess *cluster.Session, rng *rand.Rand) (int, error) {
+	s.defaults()
+	rows := 0
+	if err := sess.Begin(); err != nil {
+		return 0, err
+	}
+	abort := func(err error) (int, error) {
+		_ = sess.Rollback()
+		return rows, err
+	}
+	for i := 0; i < 10; i++ {
+		k := pick(rng, s.Dist, s.Rows)
+		if _, ok, err := sess.Get(TableName, k); err != nil {
+			return abort(err)
+		} else if ok {
+			rows++
+		}
+	}
+	start := pick(rng, s.Dist, s.Rows)
+	if err := sess.Scan(TableName, start, start+s.RangeSize/10, func(uint64, []byte) bool {
+		rows++
+		return true
+	}); err != nil {
+		return abort(err)
+	}
+	for i := 0; i < 2; i++ {
+		k := pick(rng, s.Dist, s.Rows)
+		if err := sess.Exec(TableName, cluster.OpPut, k, payload(s.PayloadSize, byte(k+1))); err != nil {
+			return abort(err)
+		}
+	}
+	k := pick(rng, s.Dist, s.Rows)
+	if err := sess.Exec(TableName, cluster.OpDelete, k, nil); err != nil {
+		// The row may have been deleted by a concurrent txn; tolerate.
+		_ = err
+	}
+	if err := sess.Exec(TableName, cluster.OpPut, k, payload(s.PayloadSize, byte(k))); err != nil {
+		return abort(err)
+	}
+	return rows, sess.Commit()
+}

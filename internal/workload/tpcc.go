@@ -1,0 +1,362 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"polardb/internal/cluster"
+)
+
+// TPCC is a scaled-down TPC-C: the full five-transaction mix over the
+// warehouse schema, with key spaces packed into uint64 primary keys. Row
+// contents are numeric fields (balances, quantities, counters) that the
+// transactions actually read, modify and write back, so page access and
+// write patterns match the benchmark's character.
+type TPCC struct {
+	Warehouses int
+	Districts  int // per warehouse (10)
+	Customers  int // per district
+	Items      int
+	OrderLines int // max lines per order (5..OrderLines)
+}
+
+func (t *TPCC) defaults() {
+	if t.Warehouses == 0 {
+		t.Warehouses = 2
+	}
+	if t.Districts == 0 {
+		t.Districts = 10
+	}
+	if t.Customers == 0 {
+		t.Customers = 100
+	}
+	if t.Items == 0 {
+		t.Items = 1000
+	}
+	if t.OrderLines == 0 {
+		t.OrderLines = 10
+	}
+}
+
+// TPC-C table names.
+const (
+	TWarehouse = "warehouse"
+	TDistrict  = "district"
+	TCustomer  = "customer"
+	TStock     = "stock"
+	TOrder     = "orders"
+	TOrderLine = "orderline"
+	TItem      = "item"
+)
+
+// Key packing.
+func wKey(w int) uint64             { return uint64(w) }
+func dKey(w, d int) uint64          { return uint64(w)*100 + uint64(d) }
+func cKey(w, d, c int) uint64       { return dKey(w, d)*10000 + uint64(c) }
+func sKey(w, i int) uint64          { return uint64(w)*1_000_000 + uint64(i) }
+func oKey(w, d, o int) uint64       { return dKey(w, d)*1_000_000 + uint64(o) }
+func olKey(ok uint64, l int) uint64 { return ok*16 + uint64(l) }
+
+// District row fields.
+const (
+	dNextOID = iota
+	dYTD
+	dDelivered // last delivered order id
+)
+
+// Load creates and populates the TPC-C schema.
+func (t *TPCC) Load(c *cluster.Cluster) error {
+	t.defaults()
+	for _, tbl := range []string{TWarehouse, TDistrict, TCustomer, TStock, TOrder, TOrderLine, TItem} {
+		if _, err := c.RW.Engine.CreateTable(tbl); err != nil {
+			return err
+		}
+	}
+	s := c.Proxy.Connect()
+	defer s.Close()
+	// Batched loading: one commit per batch rather than per row.
+	const batch = 250
+	n := 0
+	put := func(tbl string, k uint64, v []byte) error {
+		if n == 0 {
+			if err := s.Begin(); err != nil {
+				return err
+			}
+		}
+		if err := s.Exec(tbl, cluster.OpPut, k, v); err != nil {
+			_ = s.Rollback()
+			n = 0
+			return err
+		}
+		n++
+		if n >= batch {
+			n = 0
+			return s.Commit()
+		}
+		return nil
+	}
+	flush := func() error {
+		if n == 0 {
+			return nil
+		}
+		n = 0
+		return s.Commit()
+	}
+	for i := 1; i <= t.Items; i++ {
+		if err := put(TItem, uint64(i), row([]uint64{uint64(10 + i%90)}, 24)); err != nil {
+			return err
+		}
+	}
+	for w := 1; w <= t.Warehouses; w++ {
+		if err := put(TWarehouse, wKey(w), row([]uint64{0}, 32)); err != nil {
+			return err
+		}
+		for i := 1; i <= t.Items; i++ {
+			if err := put(TStock, sKey(w, i), row([]uint64{100, 0, 0}, 16)); err != nil {
+				return err
+			}
+		}
+		for d := 1; d <= t.Districts; d++ {
+			if err := put(TDistrict, dKey(w, d), row([]uint64{1, 0, 0}, 24)); err != nil {
+				return err
+			}
+			for cu := 1; cu <= t.Customers; cu++ {
+				if err := put(TCustomer, cKey(w, d, cu), row([]uint64{1000, 0, 0}, 64)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return flush()
+}
+
+// NewOrder runs one New-Order transaction; returns the order id.
+func (t *TPCC) NewOrder(s *cluster.Session, rng *rand.Rand) (uint64, error) {
+	t.defaults()
+	w := 1 + rng.Intn(t.Warehouses)
+	d := 1 + rng.Intn(t.Districts)
+	cu := 1 + rng.Intn(t.Customers)
+	if err := s.Begin(); err != nil {
+		return 0, err
+	}
+	abort := func(err error) (uint64, error) {
+		_ = s.Rollback()
+		return 0, err
+	}
+	// District: take the next order id.
+	dv, ok, err := s.Get(TDistrict, dKey(w, d))
+	if err != nil || !ok {
+		return abort(fmt.Errorf("tpcc: district %d/%d: %v", w, d, err))
+	}
+	oid := getField(dv, dNextOID)
+	putField(dv, dNextOID, oid+1)
+	if err := s.Exec(TDistrict, cluster.OpUpdate, dKey(w, d), dv); err != nil {
+		return abort(err)
+	}
+	nLines := 5 + rng.Intn(t.OrderLines-4)
+	ok64 := oKey(w, d, int(oid))
+	total := uint64(0)
+	for l := 0; l < nLines; l++ {
+		iid := 1 + rng.Intn(t.Items)
+		// Stock: decrement quantity, bump counters.
+		sv, ok, err := s.Get(TStock, sKey(w, iid))
+		if err != nil || !ok {
+			return abort(fmt.Errorf("tpcc: stock %d/%d: %v", w, iid, err))
+		}
+		qty := getField(sv, 0)
+		if qty < 10 {
+			qty += 91
+		}
+		qty -= uint64(1 + rng.Intn(5))
+		putField(sv, 0, qty)
+		putField(sv, 2, getField(sv, 2)+1)
+		if err := s.Exec(TStock, cluster.OpUpdate, sKey(w, iid), sv); err != nil {
+			return abort(err)
+		}
+		amount := uint64(1+rng.Intn(5)) * uint64(10+iid%90)
+		total += amount
+		if err := s.Exec(TOrderLine, cluster.OpPut, olKey(ok64, l),
+			row([]uint64{uint64(iid), uint64(1 + rng.Intn(5)), amount}, 16)); err != nil {
+			return abort(err)
+		}
+	}
+	if err := s.Exec(TOrder, cluster.OpPut, ok64,
+		row([]uint64{uint64(cu), uint64(nLines), 0, total}, 8)); err != nil {
+		return abort(err)
+	}
+	return oid, s.Commit()
+}
+
+// Payment runs one Payment transaction.
+func (t *TPCC) Payment(s *cluster.Session, rng *rand.Rand) error {
+	t.defaults()
+	w := 1 + rng.Intn(t.Warehouses)
+	d := 1 + rng.Intn(t.Districts)
+	cu := 1 + rng.Intn(t.Customers)
+	amount := uint64(1 + rng.Intn(5000))
+	if err := s.Begin(); err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		_ = s.Rollback()
+		return err
+	}
+	wv, ok, err := s.Get(TWarehouse, wKey(w))
+	if err != nil || !ok {
+		return abort(fmt.Errorf("tpcc: warehouse %d: %v", w, err))
+	}
+	putField(wv, 0, getField(wv, 0)+amount)
+	if err := s.Exec(TWarehouse, cluster.OpUpdate, wKey(w), wv); err != nil {
+		return abort(err)
+	}
+	dv, ok, err := s.Get(TDistrict, dKey(w, d))
+	if err != nil || !ok {
+		return abort(fmt.Errorf("tpcc: district: %v", err))
+	}
+	putField(dv, dYTD, getField(dv, dYTD)+amount)
+	if err := s.Exec(TDistrict, cluster.OpUpdate, dKey(w, d), dv); err != nil {
+		return abort(err)
+	}
+	cv, ok, err := s.Get(TCustomer, cKey(w, d, cu))
+	if err != nil || !ok {
+		return abort(fmt.Errorf("tpcc: customer: %v", err))
+	}
+	putField(cv, 0, getField(cv, 0)-amount)
+	putField(cv, 1, getField(cv, 1)+1)
+	if err := s.Exec(TCustomer, cluster.OpUpdate, cKey(w, d, cu), cv); err != nil {
+		return abort(err)
+	}
+	return s.Commit()
+}
+
+// OrderStatus runs one Order-Status transaction (read only).
+func (t *TPCC) OrderStatus(s *cluster.Session, rng *rand.Rand) error {
+	t.defaults()
+	w := 1 + rng.Intn(t.Warehouses)
+	d := 1 + rng.Intn(t.Districts)
+	cu := 1 + rng.Intn(t.Customers)
+	if _, _, err := s.Get(TCustomer, cKey(w, d, cu)); err != nil {
+		return err
+	}
+	// Latest order for the district: read the district's next oid, then
+	// the most recent order and its lines.
+	dv, ok, err := s.Get(TDistrict, dKey(w, d))
+	if err != nil || !ok {
+		return err
+	}
+	next := getField(dv, dNextOID)
+	if next <= 1 {
+		return nil
+	}
+	ok64 := oKey(w, d, int(next-1))
+	if _, _, err := s.Get(TOrder, ok64); err != nil {
+		return err
+	}
+	return s.Scan(TOrderLine, olKey(ok64, 0), olKey(ok64, 16), func(uint64, []byte) bool { return true })
+}
+
+// Delivery runs one Delivery transaction: deliver the oldest undelivered
+// order of each district of one warehouse.
+func (t *TPCC) Delivery(s *cluster.Session, rng *rand.Rand) error {
+	t.defaults()
+	w := 1 + rng.Intn(t.Warehouses)
+	if err := s.Begin(); err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		_ = s.Rollback()
+		return err
+	}
+	for d := 1; d <= t.Districts; d++ {
+		dv, ok, err := s.Get(TDistrict, dKey(w, d))
+		if err != nil || !ok {
+			return abort(fmt.Errorf("tpcc: district: %v", err))
+		}
+		delivered := getField(dv, dDelivered)
+		next := getField(dv, dNextOID)
+		if delivered+1 >= next {
+			continue // nothing to deliver
+		}
+		oid := delivered + 1
+		ov, ok, err := s.Get(TOrder, oKey(w, d, int(oid)))
+		if err != nil {
+			return abort(err)
+		}
+		if ok {
+			putField(ov, 2, 1) // delivered flag
+			if err := s.Exec(TOrder, cluster.OpUpdate, oKey(w, d, int(oid)), ov); err != nil {
+				return abort(err)
+			}
+			// Credit the customer with the order total.
+			cu := int(getField(ov, 0))
+			cv, ok, err := s.Get(TCustomer, cKey(w, d, cu))
+			if err == nil && ok {
+				putField(cv, 0, getField(cv, 0)+getField(ov, 3))
+				putField(cv, 2, getField(cv, 2)+1)
+				if err := s.Exec(TCustomer, cluster.OpUpdate, cKey(w, d, cu), cv); err != nil {
+					return abort(err)
+				}
+			}
+		}
+		putField(dv, dDelivered, oid)
+		if err := s.Exec(TDistrict, cluster.OpUpdate, dKey(w, d), dv); err != nil {
+			return abort(err)
+		}
+	}
+	return s.Commit()
+}
+
+// StockLevel runs one Stock-Level transaction (read only): scan the last
+// orders' lines and count distinct low-stock items.
+func (t *TPCC) StockLevel(s *cluster.Session, rng *rand.Rand) (int, error) {
+	t.defaults()
+	w := 1 + rng.Intn(t.Warehouses)
+	d := 1 + rng.Intn(t.Districts)
+	dv, ok, err := s.Get(TDistrict, dKey(w, d))
+	if err != nil || !ok {
+		return 0, err
+	}
+	next := getField(dv, dNextOID)
+	lo := uint64(1)
+	if next > 20 {
+		lo = next - 20
+	}
+	seen := map[uint64]bool{}
+	if err := s.Scan(TOrderLine, olKey(oKey(w, d, int(lo)), 0), olKey(oKey(w, d, int(next)), 0),
+		func(_ uint64, v []byte) bool {
+			seen[getField(v, 0)] = true
+			return true
+		}); err != nil {
+		return 0, err
+	}
+	low := 0
+	for iid := range seen {
+		sv, ok, err := s.Get(TStock, sKey(w, int(iid)))
+		if err != nil {
+			return low, err
+		}
+		if ok && getField(sv, 0) < 15 {
+			low++
+		}
+	}
+	return low, nil
+}
+
+// Mix runs one transaction drawn from the standard TPC-C mix and reports
+// whether it was a New-Order (the tpmC numerator).
+func (t *TPCC) Mix(s *cluster.Session, rng *rand.Rand) (newOrder bool, err error) {
+	switch p := rng.Intn(100); {
+	case p < 45:
+		_, err = t.NewOrder(s, rng)
+		return true, err
+	case p < 88:
+		return false, t.Payment(s, rng)
+	case p < 92:
+		return false, t.OrderStatus(s, rng)
+	case p < 96:
+		return false, t.Delivery(s, rng)
+	default:
+		_, err = t.StockLevel(s, rng)
+		return false, err
+	}
+}

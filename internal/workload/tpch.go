@@ -1,0 +1,336 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"polardb/internal/cluster"
+	"polardb/internal/engine"
+)
+
+// TPCH is a scaled-down TPC-H: customer/orders/lineitem/part with the
+// access shapes the paper's queries exercise — large range scans,
+// indexed equi-joins against inner tables (where Batched Key PrePare
+// prefetching applies, §4.2), and short dimension-table lookups.
+type TPCH struct {
+	// SF scales table cardinalities: customers = 150*SF, orders =
+	// 1500*SF, lineitems ~ 4 per order, parts = 200*SF.
+	SF int
+}
+
+func (t *TPCH) defaults() {
+	if t.SF == 0 {
+		t.SF = 1
+	}
+}
+
+// Cardinalities.
+func (t *TPCH) Customers() int { return 150 * t.SF }
+func (t *TPCH) Orders() int    { return 1500 * t.SF }
+func (t *TPCH) Parts() int     { return 200 * t.SF }
+
+// TPC-H table names.
+const (
+	HCustomer = "h_customer"
+	HOrders   = "h_orders"
+	HLineitem = "h_lineitem"
+	HPart     = "h_part"
+)
+
+// Orders row fields: [custkey, date, totalprice, lines].
+// Lineitem key: orderkey*8+line; fields: [partkey, qty, price, shipdate].
+// Customer fields: [nationkey, acctbal]. Part fields: [size, retail].
+
+func liKey(order uint64, line int) uint64 { return order*8 + uint64(line) }
+
+// Load creates and populates the TPC-H schema (deterministic from seed 1).
+func (t *TPCH) Load(c *cluster.Cluster) error {
+	t.defaults()
+	for _, tbl := range []string{HCustomer, HOrders, HLineitem, HPart} {
+		if _, err := c.RW.Engine.CreateTable(tbl); err != nil {
+			return err
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	s := c.Proxy.Connect()
+	defer s.Close()
+
+	batchBegin := func() error { return s.Begin() }
+	commit := func() error { return s.Commit() }
+
+	if err := batchBegin(); err != nil {
+		return err
+	}
+	for i := 1; i <= t.Customers(); i++ {
+		if err := s.Exec(HCustomer, cluster.OpPut, uint64(i),
+			row([]uint64{uint64(rng.Intn(25)), uint64(rng.Intn(10000))}, 80)); err != nil {
+			return err
+		}
+	}
+	if err := commit(); err != nil {
+		return err
+	}
+	if err := batchBegin(); err != nil {
+		return err
+	}
+	for i := 1; i <= t.Parts(); i++ {
+		if err := s.Exec(HPart, cluster.OpPut, uint64(i),
+			row([]uint64{uint64(1 + rng.Intn(50)), uint64(900 + rng.Intn(200))}, 64)); err != nil {
+			return err
+		}
+	}
+	if err := commit(); err != nil {
+		return err
+	}
+	for o := 1; o <= t.Orders(); o++ {
+		if o%200 == 1 {
+			if err := batchBegin(); err != nil {
+				return err
+			}
+		}
+		cust := uint64(1 + rng.Intn(t.Customers()))
+		date := uint64(rng.Intn(2400)) // days
+		lines := 2 + rng.Intn(5)
+		total := uint64(0)
+		for l := 0; l < lines; l++ {
+			part := uint64(1 + rng.Intn(t.Parts()))
+			qty := uint64(1 + rng.Intn(50))
+			price := qty * uint64(900+rng.Intn(200))
+			total += price
+			ship := date + uint64(rng.Intn(120))
+			if err := s.Exec(HLineitem, cluster.OpPut, liKey(uint64(o), l),
+				row([]uint64{part, qty, price, ship}, 40)); err != nil {
+				return fmt.Errorf("tpch load lineitem: %w", err)
+			}
+		}
+		if err := s.Exec(HOrders, cluster.OpPut, uint64(o),
+			row([]uint64{cust, date, total, uint64(lines)}, 40)); err != nil {
+			return err
+		}
+		if o%200 == 0 || o == t.Orders() {
+			if err := commit(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// QueryOpts tunes query execution.
+type QueryOpts struct {
+	// BKP enables Batched Key PrePare prefetching on indexed joins: inner
+	// table keys accumulated in the join buffer are prefetched in the
+	// background before the probe phase (§4.2). Requires Engine.
+	BKP bool
+	// Engine is the node the query runs on (for BKP and scan guards).
+	Engine *engine.Engine
+	// JoinBuffer is the number of outer rows accumulated per batch.
+	JoinBuffer int
+}
+
+func (o *QueryOpts) defaults() {
+	if o.JoinBuffer == 0 {
+		o.JoinBuffer = 64
+	}
+}
+
+// QueryNames lists the implemented TPC-H query labels, matching those in
+// the paper's figures. Each label maps to one of four access shapes with
+// query-specific parameters.
+var QueryNames = []string{
+	"Q2", "Q3", "Q4", "Q5", "Q8", "Q9", "Q10", "Q11", "Q12",
+	"Q14", "Q15", "Q16", "Q17", "Q18", "Q19", "Q20", "Q21", "Q22",
+}
+
+// Run executes the named query on the session and returns rows touched.
+func (t *TPCH) Run(name string, s *cluster.Session, opts QueryOpts) (int, error) {
+	t.defaults()
+	opts.defaults()
+	switch name {
+	// Short dimension-table queries ("not sensitive to memory capacity":
+	// Q2, Q11, Q16 in Figure 13).
+	case "Q2", "Q11", "Q16":
+		return t.partScan(s)
+	// Date-range scan + semi-join of lineitem (Q4/Q12/Q14 shapes).
+	case "Q4", "Q12", "Q14", "Q15", "Q20", "Q22":
+		return t.orderLineitemScan(s, spanFor(name))
+	// Indexed equi-join: scan orders, join customer via point gets — the
+	// BKP showcase (Q3/Q5/Q8/Q9/Q10 in Figure 15).
+	case "Q3", "Q5", "Q8", "Q9", "Q10", "Q21":
+		return t.customerJoin(s, opts, spanFor(name))
+	// Lineitem->part join (Q17/Q19 shapes) and big aggregation (Q18).
+	case "Q17", "Q19":
+		return t.partJoin(s, opts)
+	case "Q18":
+		return t.groupTop(s)
+	}
+	return 0, fmt.Errorf("tpch: unknown query %s", name)
+}
+
+// spanFor varies the scanned fraction per query label so different
+// queries have different sizes (as in the paper's latency charts).
+func spanFor(name string) float64 {
+	switch name {
+	case "Q4", "Q14", "Q15":
+		return 0.25
+	case "Q12", "Q20", "Q22":
+		return 0.40
+	case "Q3", "Q10":
+		return 0.50
+	case "Q5", "Q8", "Q9", "Q21":
+		return 0.75
+	default:
+		return 0.30
+	}
+}
+
+// partScan reads the whole part table (small).
+func (t *TPCH) partScan(s *cluster.Session) (int, error) {
+	n := 0
+	err := s.Scan(HPart, 0, ^uint64(0), func(uint64, []byte) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// orderLineitemScan scans a date-ordered range of orders and their lines.
+func (t *TPCH) orderLineitemScan(s *cluster.Session, span float64) (int, error) {
+	hi := uint64(float64(t.Orders()) * span)
+	rows := 0
+	var orders []uint64
+	if err := s.Scan(HOrders, 1, hi+1, func(k uint64, v []byte) bool {
+		rows++
+		orders = append(orders, k)
+		return true
+	}); err != nil {
+		return rows, err
+	}
+	for _, o := range orders {
+		if err := s.Scan(HLineitem, liKey(o, 0), liKey(o+1, 0), func(_ uint64, v []byte) bool {
+			rows++
+			return true
+		}); err != nil {
+			return rows, err
+		}
+	}
+	return rows, nil
+}
+
+// customerJoin scans a range of orders into the join buffer, then probes
+// the inner tables in batches: each order's lineitems (the big inner —
+// where prefetching pays) and its customer row. With BKP on, every
+// batch's inner keys are prefetched before the probe phase (§4.2's
+// join-buffer flow: fill the buffer, kick BKP, then probe).
+func (t *TPCH) customerJoin(s *cluster.Session, opts QueryOpts, span float64) (int, error) {
+	lo := uint64(float64(t.Orders()) * (1 - span))
+	rows := 0
+	var custKeys, liKeys []uint64
+	var lineCounts []int
+	if err := s.Scan(HOrders, lo+1, uint64(t.Orders())+1, func(k uint64, v []byte) bool {
+		rows++
+		custKeys = append(custKeys, getField(v, 0))
+		liKeys = append(liKeys, liKey(k, 0))
+		lineCounts = append(lineCounts, int(getField(v, 3)))
+		return true
+	}); err != nil {
+		return rows, err
+	}
+	// Probe lineitems (big inner) batch-wise, prefetching under BKP.
+	for lo := 0; lo < len(liKeys); lo += opts.JoinBuffer {
+		hi := lo + opts.JoinBuffer
+		if hi > len(liKeys) {
+			hi = len(liKeys)
+		}
+		if opts.BKP && opts.Engine != nil {
+			tbl, err := opts.Engine.OpenTable(HLineitem)
+			if err != nil {
+				return rows, err
+			}
+			opts.Engine.Prefetch(tbl.Primary, liKeys[lo:hi]).Wait()
+		}
+		for i := lo; i < hi; i++ {
+			for l := 0; l < lineCounts[i]; l++ {
+				if _, ok, err := s.Get(HLineitem, liKeys[i]+uint64(l)); err != nil {
+					return rows, err
+				} else if ok {
+					rows++
+				}
+			}
+		}
+	}
+	n, err := t.probeBatches(s, HCustomer, custKeys, opts)
+	return rows + n, err
+}
+
+// partJoin scans lineitems joining part by point gets (BKP-able).
+func (t *TPCH) partJoin(s *cluster.Session, opts QueryOpts) (int, error) {
+	hi := uint64(float64(t.Orders()) * 0.3)
+	rows := 0
+	var keys []uint64
+	if err := s.Scan(HLineitem, liKey(1, 0), liKey(hi, 0), func(_ uint64, v []byte) bool {
+		rows++
+		keys = append(keys, getField(v, 0))
+		return true
+	}); err != nil {
+		return rows, err
+	}
+	n, err := t.probeBatches(s, HPart, keys, opts)
+	return rows + n, err
+}
+
+// probeBatches joins the buffered keys against the inner table one join
+// buffer at a time, prefetching each batch when BKP is enabled.
+func (t *TPCH) probeBatches(s *cluster.Session, inner string, keys []uint64, opts QueryOpts) (int, error) {
+	rows := 0
+	for lo := 0; lo < len(keys); lo += opts.JoinBuffer {
+		hi := lo + opts.JoinBuffer
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		batch := keys[lo:hi]
+		if opts.BKP && opts.Engine != nil {
+			tbl, err := opts.Engine.OpenTable(inner)
+			if err != nil {
+				return rows, err
+			}
+			opts.Engine.Prefetch(tbl.Primary, batch).Wait()
+		}
+		for _, k := range batch {
+			if _, ok, err := s.Get(inner, k); err != nil {
+				return rows, err
+			} else if ok {
+				rows++
+			}
+		}
+	}
+	return rows, nil
+}
+
+// groupTop aggregates order totals by customer and returns the top 10
+// (Q18 shape: big scan + grouping).
+func (t *TPCH) groupTop(s *cluster.Session) (int, error) {
+	totals := map[uint64]uint64{}
+	rows := 0
+	if err := s.Scan(HOrders, 0, ^uint64(0), func(_ uint64, v []byte) bool {
+		rows++
+		totals[getField(v, 0)] += getField(v, 2)
+		return true
+	}); err != nil {
+		return rows, err
+	}
+	type ct struct {
+		c uint64
+		t uint64
+	}
+	top := make([]ct, 0, len(totals))
+	for c, tt := range totals {
+		top = append(top, ct{c, tt})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].t > top[j].t })
+	if len(top) > 10 {
+		top = top[:10]
+	}
+	return rows, nil
+}

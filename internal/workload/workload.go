@@ -1,0 +1,77 @@
+// Package workload implements scaled-down versions of the benchmarks the
+// paper evaluates with (§6.1): sysbench OLTP (uniform and skewed), TPC-C
+// and TPC-H. The workloads only need to reproduce the *page access
+// patterns* that drive the paper's figures — point reads/writes with
+// controllable skew, multi-statement read-write transactions over a
+// warehouse schema, and scan/join-heavy analytical queries — since the
+// systems under test sit below the SQL layer.
+package workload
+
+import (
+	"encoding/binary"
+	"math/rand"
+)
+
+// Distribution selects how point keys are drawn.
+type Distribution int
+
+const (
+	// Uniform draws keys uniformly (sysbench rand-type=uniform).
+	Uniform Distribution = iota
+	// Skewed sends most traffic to a hot ~5% of the key space, matching
+	// the paper's "rand-type=default" footnote.
+	Skewed
+)
+
+func (d Distribution) String() string {
+	if d == Skewed {
+		return "skewed"
+	}
+	return "uniform"
+}
+
+// pick draws a key in [0, n) under the distribution.
+func pick(rng *rand.Rand, d Distribution, n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	if d == Uniform {
+		return uint64(rng.Int63n(int64(n)))
+	}
+	// Skewed: 95% of accesses hit the hottest 5% of keys.
+	hot := n / 20
+	if hot == 0 {
+		hot = 1
+	}
+	if rng.Intn(100) < 95 {
+		return uint64(rng.Int63n(int64(hot)))
+	}
+	return hot + uint64(rng.Int63n(int64(n-hot)))
+}
+
+// payload builds a filler row of the given size with a seed byte.
+func payload(size int, seed byte) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = 'a' + (seed+byte(i))%26
+	}
+	return b
+}
+
+// Numeric row encoding helpers (fixed-width fields, little endian) used by
+// the TPC-C and TPC-H row payloads.
+
+func putField(b []byte, i int, v uint64) { binary.LittleEndian.PutUint64(b[i*8:], v) }
+func getField(b []byte, i int) uint64    { return binary.LittleEndian.Uint64(b[i*8:]) }
+
+// row builds a payload of n 8-byte numeric fields plus filler.
+func row(fields []uint64, filler int) []byte {
+	b := make([]byte, len(fields)*8+filler)
+	for i, v := range fields {
+		putField(b, i, v)
+	}
+	for i := len(fields) * 8; i < len(b); i++ {
+		b[i] = 'x'
+	}
+	return b
+}

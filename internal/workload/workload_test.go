@@ -1,0 +1,293 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"polardb/internal/cluster"
+	"polardb/internal/rdma"
+)
+
+func testCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.Launch(cluster.Config{
+		Fabric:            rdma.TestConfig(),
+		RONodes:           1,
+		MemorySlabs:       8,
+		SlabPages:         256,
+		LocalCachePages:   512,
+		HeartbeatInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestPickDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 10000
+	// Uniform: keys spread; Skewed: >=80% in hottest 5%.
+	hotHits := 0
+	for i := 0; i < n; i++ {
+		if pick(rng, Skewed, 1000) < 50 {
+			hotHits++
+		}
+	}
+	if hotHits < n*80/100 {
+		t.Fatalf("skewed hot hits = %d/%d, want >= 80%%", hotHits, n)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		seen[pick(rng, Uniform, 1000)] = true
+	}
+	if len(seen) < 900 {
+		t.Fatalf("uniform coverage = %d/1000", len(seen))
+	}
+	if pick(rng, Uniform, 0) != 0 {
+		t.Fatal("pick(0) != 0")
+	}
+}
+
+func TestRowFields(t *testing.T) {
+	r := row([]uint64{7, 9}, 10)
+	if len(r) != 26 {
+		t.Fatalf("len = %d", len(r))
+	}
+	if getField(r, 0) != 7 || getField(r, 1) != 9 {
+		t.Fatal("fields wrong")
+	}
+	putField(r, 1, 11)
+	if getField(r, 1) != 11 {
+		t.Fatal("putField failed")
+	}
+}
+
+func TestSysbenchLoadAndTxns(t *testing.T) {
+	c := testCluster(t)
+	sb := &Sysbench{Rows: 500, Dist: Uniform, RangeSize: 20}
+	if err := sb.Load(c); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	s := c.Proxy.Connect()
+	defer s.Close()
+	rng := rand.New(rand.NewSource(1))
+	rows, err := sb.ReadOnlyTxn(s, rng)
+	if err != nil {
+		t.Fatalf("read only: %v", err)
+	}
+	if rows == 0 {
+		t.Fatal("read only touched no rows")
+	}
+	if _, err := sb.RangeTxn(s, rng); err != nil {
+		t.Fatalf("range: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := sb.ReadWriteTxn(s, rng); err != nil {
+			t.Fatalf("read write %d: %v", i, err)
+		}
+	}
+	// Table still consistent: all keys readable.
+	n := 0
+	if err := s.Scan(TableName, 0, ^uint64(0), func(uint64, []byte) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n < 490 || n > 510 {
+		t.Fatalf("row count drifted: %d", n)
+	}
+}
+
+func TestTPCCLoadAndMix(t *testing.T) {
+	c := testCluster(t)
+	w := &TPCC{Warehouses: 1, Districts: 2, Customers: 20, Items: 50, OrderLines: 6}
+	if err := w.Load(c); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	s := c.Proxy.Connect()
+	defer s.Close()
+	rng := rand.New(rand.NewSource(2))
+
+	// New orders advance the district counter.
+	for i := 0; i < 5; i++ {
+		if _, err := w.NewOrder(s, rng); err != nil {
+			t.Fatalf("new order: %v", err)
+		}
+	}
+	dv, ok, err := s.Get(TDistrict, dKey(1, 1))
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	_ = dv
+	if err := w.Payment(s, rng); err != nil {
+		t.Fatalf("payment: %v", err)
+	}
+	if err := w.OrderStatus(s, rng); err != nil {
+		t.Fatalf("order status: %v", err)
+	}
+	if err := w.Delivery(s, rng); err != nil {
+		t.Fatalf("delivery: %v", err)
+	}
+	if _, err := w.StockLevel(s, rng); err != nil {
+		t.Fatalf("stock level: %v", err)
+	}
+	newOrders := 0
+	for i := 0; i < 30; i++ {
+		isNO, err := w.Mix(s, rng)
+		if err != nil {
+			t.Fatalf("mix %d: %v", i, err)
+		}
+		if isNO {
+			newOrders++
+		}
+	}
+	if newOrders == 0 {
+		t.Fatal("mix produced no new orders")
+	}
+}
+
+func TestTPCCMoneyConservation(t *testing.T) {
+	// Payments move money warehouse<-customer; totals must reconcile.
+	c := testCluster(t)
+	w := &TPCC{Warehouses: 1, Districts: 2, Customers: 10, Items: 20}
+	if err := w.Load(c); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Proxy.Connect()
+	defer s.Close()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		if err := w.Payment(s, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wYTD uint64
+	wv, _, err := s.Get(TWarehouse, wKey(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wYTD = getField(wv, 0)
+	// Sum of customer balance deficits equals warehouse YTD.
+	var deficit uint64
+	for d := 1; d <= 2; d++ {
+		for cu := 1; cu <= 10; cu++ {
+			cv, ok, err := s.Get(TCustomer, cKey(1, d, cu))
+			if err != nil || !ok {
+				t.Fatal(err)
+			}
+			deficit += 1000 - getField(cv, 0) // initial balance 1000 (underflows wrap; amounts small enough)
+		}
+	}
+	if deficit != wYTD {
+		t.Fatalf("money not conserved: warehouse ytd %d, customer deficit %d", wYTD, deficit)
+	}
+}
+
+func TestTPCHLoadAndQueries(t *testing.T) {
+	c := testCluster(t)
+	h := &TPCH{SF: 1}
+	if err := h.Load(c); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	s := c.Proxy.Connect()
+	defer s.Close()
+	for _, q := range QueryNames {
+		rows, err := h.Run(q, s, QueryOpts{})
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if rows == 0 {
+			t.Fatalf("%s touched no rows", q)
+		}
+	}
+}
+
+func TestTPCHBKPMatchesPlain(t *testing.T) {
+	c := testCluster(t)
+	h := &TPCH{SF: 1}
+	if err := h.Load(c); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Proxy.Connect()
+	defer s.Close()
+	plain, err := h.Run("Q10", s, QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bkp, err := h.Run("Q10", s, QueryOpts{BKP: true, Engine: c.RW.Engine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != bkp {
+		t.Fatalf("BKP changed results: %d vs %d rows", plain, bkp)
+	}
+}
+
+func TestSysbenchSkewedLoadAndRun(t *testing.T) {
+	c := testCluster(t)
+	sb := &Sysbench{Rows: 300, Dist: Skewed, RangeSize: 10}
+	if err := sb.Load(c); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Proxy.Connect()
+	defer s.Close()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5; i++ {
+		if _, err := sb.ReadWriteTxn(s, rng); err != nil {
+			t.Fatalf("skewed rw txn: %v", err)
+		}
+	}
+}
+
+func TestTPCCUnknownQueryAndEmptyMix(t *testing.T) {
+	c := testCluster(t)
+	h := &TPCH{SF: 1}
+	if err := h.Load(c); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Proxy.Connect()
+	defer s.Close()
+	if _, err := h.Run("Q99", s, QueryOpts{}); err == nil {
+		t.Fatal("unknown query accepted")
+	}
+}
+
+func TestTPCCDeliveryCreditsCustomer(t *testing.T) {
+	c := testCluster(t)
+	w := &TPCC{Warehouses: 1, Districts: 1, Customers: 5, Items: 20}
+	if err := w.Load(c); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Proxy.Connect()
+	defer s.Close()
+	rng := rand.New(rand.NewSource(9))
+	// Create orders then deliver them; the order totals must land on
+	// customer balances (field 0 grows) and orders get flagged delivered.
+	var oids []uint64
+	for i := 0; i < 3; i++ {
+		oid, err := w.NewOrder(s, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Delivery(s, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	delivered := 0
+	for _, oid := range oids {
+		ov, ok, err := s.Get(TOrder, oKey(1, 1, int(oid)))
+		if err != nil || !ok {
+			t.Fatalf("order %d: %v %v", oid, ok, err)
+		}
+		if getField(ov, 2) == 1 {
+			delivered++
+		}
+	}
+	if delivered != 3 {
+		t.Fatalf("delivered = %d, want 3", delivered)
+	}
+}

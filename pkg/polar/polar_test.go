@@ -1,0 +1,95 @@
+package polar
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	db, err := Open(Options{ReadReplicas: 1, HeartbeatInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.CreateTable("users"); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session()
+	defer s.Close()
+	if err := s.Exec("users", OpPut, 1, []byte("alice")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get("users", 1)
+	if err != nil || !ok || string(v) != "alice" {
+		t.Fatalf("get: %q %v %v", v, ok, err)
+	}
+	// Transactions.
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(10); k < 20; k++ {
+		if err := s.Exec("users", OpInsert, k, []byte(fmt.Sprintf("u%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := s.Scan("users", 0, 100, func(uint64, []byte) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 11 {
+		t.Fatalf("scan = %d, want 11", n)
+	}
+	st := db.Stats()
+	if st.Commits == 0 || st.MemoryPages == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPublicAPIScaling(t *testing.T) {
+	db, err := Open(Options{HeartbeatInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	base := db.MemoryPages()
+	grown, err := db.GrowMemory(1)
+	if err != nil || grown <= base {
+		t.Fatalf("grow: %d -> %d, %v", base, grown, err)
+	}
+	if _, err := db.ShrinkMemory(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ResizeLocalCaches(128); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddReadReplica(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPISwitchOver(t *testing.T) {
+	db, err := Open(Options{ReadReplicas: 1, HeartbeatInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session()
+	defer s.Close()
+	if err := s.Exec("t", OpPut, 1, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SwitchOver(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get("t", 1)
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("after switchover: %q %v %v", v, ok, err)
+	}
+}
