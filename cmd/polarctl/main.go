@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"polardb/internal/retry"
 	"polardb/pkg/polar"
 )
 
@@ -64,6 +65,7 @@ func main() {
 		}
 	}()
 	status := func(phase string) {
+		//polarvet:allow nosleep demo pacing: let the workload run before sampling stats
 		time.Sleep(400 * time.Millisecond)
 		st := db.Stats()
 		fmt.Printf("%-32s ops=%7d  pool=%4d/%4d pages  remote_reads=%6d  storage_reads=%6d\n",
@@ -90,8 +92,8 @@ func main() {
 	if err := db.Failover(); err != nil {
 		log.Fatal(err)
 	}
-	for ops.Load() == before {
-		time.Sleep(5 * time.Millisecond)
+	b := retry.NewBackoff(5*time.Millisecond, 30*time.Second)
+	for ops.Load() == before && b.Sleep() {
 	}
 	fmt.Printf("    service resumed %v after the crash\n", time.Since(t0).Round(time.Millisecond))
 	status("after unplanned failover")

@@ -1,0 +1,72 @@
+// Command polarvet runs the repository's architectural static analyzers
+// (internal/lint) over the module: nosleep, layering, lockheld, errdrop.
+//
+// Usage:
+//
+//	go run ./cmd/polarvet ./...
+//	go run ./cmd/polarvet ./internal/engine ./internal/cluster/...
+//
+// Exit status: 0 clean, 1 findings, 2 load/usage failure. Suppress an
+// individual finding with an adjacent
+//
+//	//polarvet:allow <analyzer> <reason>
+//
+// comment; the reason is mandatory and should say why the invariant is
+// safe to break at that site.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"polardb/internal/lint"
+)
+
+func main() {
+	root := flag.String("C", ".", "module root (directory containing go.mod)")
+	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	mod, err := lint.LoadModule(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polarvet:", err)
+		os.Exit(2)
+	}
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var sel []lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name()] {
+				sel = append(sel, a)
+				delete(want, a.Name())
+			}
+		}
+		if len(want) > 0 || len(sel) == 0 {
+			fmt.Fprintf(os.Stderr, "polarvet: unknown analyzers in -analyzers=%s\n", *only)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+	findings, err := lint.Run(mod, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polarvet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "polarvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -56,6 +56,7 @@ func main() {
 	}()
 
 	report := func(phase string) {
+		//polarvet:allow nosleep demo pacing: let the workload run before sampling stats
 		time.Sleep(150 * time.Millisecond)
 		st := db.Stats()
 		fmt.Printf("%-28s memory=%4d pages (used %4d)  ops so far=%d\n",

@@ -10,6 +10,18 @@ import (
 // testing.B benchmarks; these guard against regressions in go test runs.)
 // They are skipped in -short mode: each takes tens of seconds.
 
+// skipHeavyUnderRace exempts the longest figure harnesses from race-enabled
+// runs: the detector slows them 10-20x, pushing the package past go test's
+// default 10-minute budget. The remaining figures keep the cluster, engine
+// and rmem paths under the detector; the skipped ones run in the plain
+// suite.
+func skipHeavyUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("figure too heavy under -race; covered by the non-race run")
+	}
+}
+
 func runFig(t *testing.T, fn func(Scale) (*Result, error), minSeries int) *Result {
 	t.Helper()
 	if testing.Short() {
@@ -34,6 +46,7 @@ func runFig(t *testing.T, fn func(Scale) (*Result, error), minSeries int) *Resul
 func TestFig08Smoke(t *testing.T) { runFig(t, Fig08, 2) }
 func TestFig09Smoke(t *testing.T) { runFig(t, Fig09, 4) }
 func TestFig10aSmoke(t *testing.T) {
+	skipHeavyUnderRace(t)
 	r := runFig(t, Fig10a, 2)
 	// Shape assertion: serverless wins the middle config.
 	sv, pb := r.Series[0], r.Series[1]
@@ -43,8 +56,8 @@ func TestFig10aSmoke(t *testing.T) {
 	}
 }
 func TestFig10bSmoke(t *testing.T) { runFig(t, Fig10b, 3) }
-func TestFig11Smoke(t *testing.T)  { runFig(t, Fig11, 6) }
+func TestFig11Smoke(t *testing.T)  { skipHeavyUnderRace(t); runFig(t, Fig11, 6) }
 func TestFig12Smoke(t *testing.T)  { runFig(t, Fig12, 3) }
-func TestFig13Smoke(t *testing.T)  { runFig(t, Fig13, 3) }
-func TestFig14Smoke(t *testing.T)  { runFig(t, Fig14, 4) }
+func TestFig13Smoke(t *testing.T)  { skipHeavyUnderRace(t); runFig(t, Fig13, 3) }
+func TestFig14Smoke(t *testing.T)  { skipHeavyUnderRace(t); runFig(t, Fig14, 4) }
 func TestFig15Smoke(t *testing.T)  { runFig(t, Fig15, 4) }

@@ -9,6 +9,7 @@ import (
 
 	"polardb/internal/engine"
 	"polardb/internal/rdma"
+	"polardb/internal/retry"
 	"polardb/internal/types"
 )
 
@@ -109,6 +110,11 @@ type Session struct {
 	p  *Proxy
 	mu sync.Mutex
 
+	// txMu guards tx/trxID/txLost. It is a leaf lock: rebindAfterSwitch
+	// mutates them from the failover path (which cannot take s.mu without
+	// deadlocking against a session op blocked on the proxy gate), and
+	// session ops peek at them before deciding whether to take the gate.
+	txMu      sync.Mutex
 	tx        *engine.Txn
 	trxID     types.TrxID
 	savepoint int // statements executed in the open transaction
@@ -127,17 +133,16 @@ const retryWindow = 10 * time.Second
 
 // withRW runs fn against the RW engine with switchover gating + retry.
 func (s *Session) withRW(fn func(e *engine.Engine, tbl func(string) (*engine.Table, error)) error) error {
-	deadline := time.Now().Add(retryWindow)
+	b := retry.NewBackoff(5*time.Millisecond, retryWindow)
 	for {
 		s.p.gate.RLock()
 		node := s.p.rwNode()
 		e := node.Engine
 		err := fn(e, e.OpenTable)
 		s.p.gate.RUnlock()
-		if err == nil || !retryable(err) || time.Now().After(deadline) {
+		if err == nil || !retryable(err) || !b.Sleep() {
 			return err
 		}
-		time.Sleep(5 * time.Millisecond)
 	}
 }
 
@@ -150,7 +155,7 @@ func retryable(err error) bool {
 func (s *Session) Begin() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.tx != nil {
+	if tx, _ := s.txOrErr(); tx != nil {
 		return fmt.Errorf("cluster: transaction already open")
 	}
 	return s.withRW(func(e *engine.Engine, _ func(string) (*engine.Table, error)) error {
@@ -158,20 +163,43 @@ func (s *Session) Begin() error {
 		if err != nil {
 			return err
 		}
+		s.txMu.Lock()
 		s.tx = tx
 		s.trxID = tx.ID()
-		s.savepoint = 0
 		s.txLost = false
+		s.txMu.Unlock()
+		s.savepoint = 0
 		return nil
 	})
 }
 
 // txOrErr returns the open transaction, surfacing a lost-txn condition.
 func (s *Session) txOrErr() (*engine.Txn, error) {
+	s.txMu.Lock()
+	defer s.txMu.Unlock()
 	if s.txLost {
 		return nil, ErrTxnLost
 	}
 	return s.tx, nil
+}
+
+// txOpen reports whether the session has (or has lost) an open
+// transaction, i.e. whether the next statement belongs on the RW under
+// the gate rather than the autocommit path. Callers re-check under the
+// gate: a failover may rebind the session between peek and gate.
+func (s *Session) txOpen() bool {
+	s.txMu.Lock()
+	defer s.txMu.Unlock()
+	return s.tx != nil || s.txLost
+}
+
+// clearTx resets the transaction state (commit/rollback epilogue).
+func (s *Session) clearTx() {
+	s.txMu.Lock()
+	s.tx = nil
+	s.txLost = false
+	s.txMu.Unlock()
+	s.savepoint = 0
 }
 
 // Exec runs one write statement: inside the open transaction if any,
@@ -267,7 +295,7 @@ func (s *Session) ExecIndex(table, index string, op WriteOp, key uint64, value [
 			return tx.InsertIndex(ix, key, value)
 		}
 	}
-	if tx, _ := s.txOrErr(); tx != nil || s.txLost {
+	if s.txOpen() {
 		s.p.gate.RLock()
 		defer s.p.gate.RUnlock()
 		tx, err := s.txOrErr()
@@ -312,7 +340,7 @@ func (s *Session) ScanIndex(table, index string, from, to uint64, fn func(key ui
 		}
 		return tx.ScanTree(ix.Tree, from, to, fn)
 	}
-	if tx, _ := s.txOrErr(); tx != nil || s.txLost {
+	if s.txOpen() {
 		s.p.gate.RLock()
 		defer s.p.gate.RUnlock()
 		tx, err := s.txOrErr()
@@ -338,7 +366,7 @@ func (s *Session) ScanIndex(table, index string, from, to uint64, fn func(key ui
 func (s *Session) Get(table string, key uint64) ([]byte, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if tx, _ := s.txOrErr(); tx != nil || s.txLost {
+	if s.txOpen() {
 		s.p.gate.RLock()
 		defer s.p.gate.RUnlock()
 		tx, err := s.txOrErr() // re-read: a failover may have rebound us
@@ -375,7 +403,7 @@ func (s *Session) Get(table string, key uint64) ([]byte, bool, error) {
 func (s *Session) Scan(table string, from, to uint64, fn func(key uint64, val []byte) bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if tx, _ := s.txOrErr(); tx != nil || s.txLost {
+	if s.txOpen() {
 		s.p.gate.RLock()
 		defer s.p.gate.RUnlock()
 		tx, err := s.txOrErr()
@@ -406,19 +434,21 @@ func (s *Session) Scan(table string, from, to uint64, fn func(key uint64, val []
 
 // readAuto routes an autocommit read to a reader node with retry.
 func (s *Session) readAuto(fn func(*engine.Engine) error) error {
-	deadline := time.Now().Add(retryWindow)
+	b := retry.NewBackoff(5*time.Millisecond, retryWindow)
 	for {
 		s.p.gate.RLock()
 		node := s.p.pickReader()
 		err := fn(node.Engine)
 		s.p.gate.RUnlock()
-		if err == nil || time.Now().After(deadline) {
+		if err == nil {
 			return err
 		}
 		if !retryable(err) && !errors.Is(err, engine.ErrStalePage) {
 			return err
 		}
-		time.Sleep(5 * time.Millisecond)
+		if !b.Sleep() {
+			return err
+		}
 	}
 }
 
@@ -430,13 +460,13 @@ func (s *Session) Commit() error {
 	defer s.p.gate.RUnlock()
 	tx, err := s.txOrErr()
 	if err != nil {
-		s.txLost = false
+		s.clearTx()
 		return err
 	}
 	if tx == nil {
 		return nil
 	}
-	defer func() { s.tx = nil; s.savepoint = 0 }()
+	defer s.clearTx()
 	return tx.Commit()
 }
 
@@ -448,13 +478,13 @@ func (s *Session) Rollback() error {
 	defer s.p.gate.RUnlock()
 	tx, err := s.txOrErr()
 	if err != nil {
-		s.txLost = false
+		s.clearTx()
 		return nil // already gone
 	}
 	if tx == nil {
 		return nil
 	}
-	defer func() { s.tx = nil; s.savepoint = 0 }()
+	defer s.clearTx()
 	return tx.Rollback()
 }
 
@@ -462,8 +492,11 @@ func (s *Session) Rollback() error {
 // proxy gate is held exclusively. adopted maps trx ids to resumed
 // transactions on the new RW (planned switches); nil means unplanned.
 func (s *Session) rebindAfterSwitch(adopted map[types.TrxID]*engine.Txn) {
-	// The proxy gate excludes all session ops right now; only s.tx fields
-	// are touched.
+	// The gate excludes gated session ops, but ops peek at the tx state
+	// before taking the gate (and re-check under it), so the mutation
+	// must hold the leaf lock.
+	s.txMu.Lock()
+	defer s.txMu.Unlock()
 	if s.tx == nil {
 		return
 	}

@@ -158,6 +158,11 @@ type Engine struct {
 	shippedCond *sync.Cond
 	nudge       chan struct{}
 
+	// mtrCond wakes flush-page waiters when a mini-transaction releases
+	// its frames (see handleFlushPage and Mtr.release).
+	mtrMu   sync.Mutex
+	mtrCond *sync.Cond
+
 	backfillCh chan backfillItem
 
 	scanGuard atomic.Int32 // >0: storage misses skip remote-memory population
@@ -228,6 +233,7 @@ func newEngine(deps Deps, cfg Config) *Engine {
 		closeCh:    make(chan struct{}),
 	}
 	e.shippedCond = sync.NewCond(&e.shippedMu)
+	e.mtrCond = sync.NewCond(&e.mtrMu)
 	e.cache = cache.New(cfg.LocalCachePages, e.onEvict)
 	if e.pool != nil {
 		e.pool.OnInvalidate(func(p types.PageID) { e.cache.Invalidate(p) })
@@ -647,6 +653,10 @@ func (mt *Mtr) LogWrite(f *cache.Frame, off int, data []byte) {
 	f.MarkDirty()
 	if _, ok := mt.frames[f.ID.Key()]; !ok {
 		f.Pin()
+		// The mtr-pin (taken under this frame's exclusive latch) keeps
+		// handleFlushPage from shipping these bytes to an RO node before
+		// Commit invalidates the MTR's other pages.
+		f.MtrPin()
 		mt.frames[f.ID.Key()] = f
 	}
 }
@@ -694,6 +704,12 @@ func (mt *Mtr) Commit() (types.LSN, error) {
 }
 
 func (mt *Mtr) release() {
+	mt.e.mtrMu.Lock()
+	for _, f := range mt.frames {
+		f.MtrUnpin()
+	}
+	mt.e.mtrMu.Unlock()
+	mt.e.mtrCond.Broadcast()
 	for _, f := range mt.frames {
 		f.Unpin()
 	}

@@ -282,7 +282,11 @@ func (e *Engine) RecoverTraditional(oldRW rdma.NodeID, fromLSN types.LSN) (int, 
 			}
 		}
 		for _, r := range recs {
-			_ = r.ApplyToPage(buf)
+			if err := r.ApplyToPage(buf); err != nil {
+				// A record that does not fit its page means the redo read
+				// back from storage is corrupt; recovery must not continue.
+				return 0, err
+			}
 		}
 		if err := e.pfs.ShipRecords(recs, recs[len(recs)-1].LSN); err != nil {
 			return 0, err

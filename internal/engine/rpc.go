@@ -32,7 +32,26 @@ func (e *Engine) handleFlushPage(from rdma.NodeID, req []byte) ([]byte, error) {
 		return []byte{0}, nil
 	}
 	e.stats.FlushRequests.Add(1)
-	f.Latch.RLock()
+	// A frame modified by a still-open mini-transaction must not be
+	// shipped: its bytes may reference the MTR's other pages (e.g. a data
+	// row pointing at a new undo record) whose remote copies are not yet
+	// invalidated, so the caller could assemble a torn view (§3.1.4,
+	// invalidate-then-publish). Wait for the MTR to release. The check
+	// runs under the frame latch: LogWrite both applies bytes and takes
+	// the mtr-pin while holding it exclusively, so a clear pin count
+	// means no uncommitted bytes can be in the copy below.
+	for {
+		f.Latch.RLock()
+		if !f.MtrPinned() {
+			break
+		}
+		f.Latch.RUnlock()
+		e.mtrMu.Lock()
+		for f.MtrPinned() {
+			e.mtrCond.Wait()
+		}
+		e.mtrMu.Unlock()
+	}
 	err := e.pool.WritePage(f.Remote.Data, f.Data, f.Remote.PIB)
 	f.Latch.RUnlock()
 	if err != nil {

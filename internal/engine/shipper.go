@@ -89,6 +89,7 @@ func (e *Engine) checkpointer() {
 		if err != nil || cp == 0 {
 			continue
 		}
+		//polarvet:allow errdrop truncation is best-effort housekeeping; a failure leaves extra redo that the next checkpoint tick retries
 		_ = e.pfs.TruncateRedo(cp)
 	}
 }

@@ -183,6 +183,7 @@ func (e *Engine) readUndoPrev(pg types.PageNo, off uint16) ([]byte, bool, error)
 	if err == nil && u.Type != txn.UndoInsert && u.Type != txn.UndoUpdate && u.Type != txn.UndoDelete {
 		// Forensics: compare this frame against the storage and remote
 		// copies to find where the zeroed bytes came from.
+		//polarvet:allow errdrop forensic probe on an already-failing path; the caller reports the original corruption error either way
 		sData, sLSN, sExists, _ := e.pfs.GetPage(types.PageID{Space: UndoSpace, No: pg}, polarfs.MaxLSN)
 		sNZ := false
 		if sExists && int(off)+8 <= len(sData) {

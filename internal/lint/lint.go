@@ -1,0 +1,145 @@
+// Package lint implements polarvet, the repository's static analyzer.
+//
+// The simulation's results are only meaningful while a handful of
+// architectural invariants hold: all cross-node interaction flows through
+// internal/rdma (never shared Go pointers), all simulated delay flows
+// through the fabric latency model, and node-local latches are never held
+// across simulated network latency. Nothing in the compiler enforces any
+// of that, so this package does. One file per analyzer:
+//
+//   - nosleep (nosleep.go): time.Sleep outside the latency model
+//   - layering (layering.go): the allowed package-import DAG
+//   - lockheld (lockheld.go): fabric verbs under a held sync.Mutex
+//   - errdrop (errdrop.go): discarded errors from rdma/polarfs/plog
+//
+// A finding is suppressed by an adjacent directive comment
+//
+//	//polarvet:allow <analyzer> <reason>
+//
+// on the same line as the finding or on the line directly above it. The
+// reason is mandatory; a directive without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Analyzer checks one loaded package.
+type Analyzer interface {
+	Name() string
+	Check(p *Package) []Finding
+}
+
+// Analyzers returns the full analyzer set, in reporting order.
+func Analyzers() []Analyzer {
+	return []Analyzer{NoSleep{}, Layering{}, LockHeld{}, ErrDrop{}}
+}
+
+// Run loads every package matching patterns and applies the analyzers,
+// returning surviving (non-suppressed) findings sorted by position.
+func Run(mod *Module, patterns []string, analyzers []Analyzer) ([]Finding, error) {
+	paths, err := mod.Packages(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, path := range paths {
+		p, err := mod.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		allows, bad := directives(p)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			for _, f := range a.Check(p) {
+				if !allows.covers(a.Name(), f.Pos) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// directivePrefix introduces an allowlist comment.
+const directivePrefix = "//polarvet:allow"
+
+// allowSet records, per file and analyzer, the lines carrying an allow
+// directive. A directive covers its own line and the following line, so
+// it can sit at the end of the offending line or alone just above it.
+type allowSet map[string]map[int]bool // "analyzer\x00filename" -> lines
+
+func (s allowSet) covers(analyzer string, pos token.Position) bool {
+	lines := s[analyzer+"\x00"+pos.Filename]
+	return lines[pos.Line] || lines[pos.Line-1]
+}
+
+// directives collects the allow directives of a package; malformed ones
+// (unknown shape or missing reason) come back as findings.
+func directives(p *Package) (allowSet, []Finding) {
+	set := allowSet{}
+	var bad []Finding
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(c.Text, directivePrefix))
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  "malformed //polarvet:allow: want \"//polarvet:allow <analyzer> <reason>\" with a non-empty reason",
+					})
+					continue
+				}
+				key := fields[0] + "\x00" + pos.Filename
+				if set[key] == nil {
+					set[key] = map[int]bool{}
+				}
+				set[key][pos.Line] = true
+			}
+		}
+	}
+	return set, bad
+}
+
+// walkFuncs visits every function or method body in the package,
+// including file-scope init bodies, handing the enclosing declaration
+// name to fn.
+func walkFuncs(p *Package, fn func(name string, body *ast.BlockStmt)) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd.Name.Name, fd.Body)
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockHeld flags fabric verbs issued while a sync.Mutex/RWMutex locked in
+// the same function is still held. The fabric verbs (Endpoint.Read/Write/
+// CAS64/FetchAdd64/Load64/Call/CallTimeout) simulate network latency;
+// holding a node-local latch across them serializes every other local
+// user of that latch behind a simulated network round-trip, which is both
+// a performance bug and a distortion of the measured coherence cost.
+//
+// The check is per function body and source-ordered: a mutex counts as
+// held between X.Lock()/X.RLock() and the matching X.Unlock()/X.RUnlock();
+// a deferred unlock holds to the end of the function. Function literals
+// are separate scopes. internal/rdma itself is exempt — its internal
+// bookkeeping locks are part of the latency model, not callers of it.
+type LockHeld struct{}
+
+// fabricVerbs are the latency-bearing *rdma.Endpoint methods.
+var fabricVerbs = map[string]bool{
+	"Read": true, "Write": true, "CAS64": true, "FetchAdd64": true,
+	"Load64": true, "Call": true, "CallTimeout": true,
+}
+
+// Name implements Analyzer.
+func (LockHeld) Name() string { return "lockheld" }
+
+// Check implements Analyzer.
+func (LockHeld) Check(p *Package) []Finding {
+	if strings.HasSuffix(p.Path, "internal/rdma") {
+		return nil
+	}
+	var out []Finding
+	walkFuncs(p, func(name string, body *ast.BlockStmt) {
+		out = append(out, checkLockHeld(p, name, body)...)
+	})
+	return out
+}
+
+// lockState tracks which mutex expressions are held at the current point
+// of the source-ordered walk.
+type lockState struct {
+	p     *Package
+	fname string
+	held  map[string]bool // mutex expr (rendered) -> held
+	out   []Finding
+}
+
+func checkLockHeld(p *Package, fname string, body *ast.BlockStmt) []Finding {
+	s := &lockState{p: p, fname: fname, held: map[string]bool{}}
+	s.walk(body, false)
+	return s.out
+}
+
+// walk visits n in source order. deferred marks calls syntactically under
+// a defer statement: a deferred unlock releases only at function end, so
+// it never clears the held set.
+func (s *lockState) walk(n ast.Node, deferred bool) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.FuncLit:
+		// Separate scope: locks held here don't leak out, and the
+		// literal's body may run at any time relative to this function.
+		nested := &lockState{p: s.p, fname: s.fname + " (func literal)", held: map[string]bool{}}
+		nested.walk(n.Body, false)
+		s.out = append(s.out, nested.out...)
+		return
+	case *ast.DeferStmt:
+		s.walk(n.Call, true)
+		return
+	case *ast.CallExpr:
+		for _, arg := range n.Args {
+			s.walk(arg, deferred)
+		}
+		s.walk(n.Fun, deferred)
+		s.call(n, deferred)
+		return
+	}
+	// Generic traversal in source order for everything else.
+	var children []ast.Node
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil || c == n {
+			return c == n
+		}
+		children = append(children, c)
+		return false
+	})
+	for _, c := range children {
+		s.walk(c, deferred)
+	}
+}
+
+// call classifies one call expression: mutex transition, fabric verb, or
+// neither.
+func (s *lockState) call(call *ast.CallExpr, deferred bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := s.p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	switch {
+	case obj.Pkg().Path() == "sync":
+		key := types.ExprString(sel.X)
+		switch obj.Name() {
+		case "Lock", "RLock":
+			s.held[key] = true
+		case "Unlock", "RUnlock":
+			if !deferred {
+				delete(s.held, key)
+			}
+			// Deferred unlocks release at function end; the mutex stays
+			// held for everything that follows in source order.
+		}
+	case isFabricVerb(obj):
+		if len(s.held) > 0 {
+			var locks []string
+			for k := range s.held {
+				locks = append(locks, k)
+			}
+			sort.Strings(locks)
+			s.out = append(s.out, Finding{
+				Analyzer: "lockheld",
+				Pos:      s.p.Fset.Position(call.Pos()),
+				Message: fmt.Sprintf("%s: fabric verb %s.%s while holding %s; release node-local latches before simulated network latency",
+					s.fname, types.ExprString(sel.X), obj.Name(), strings.Join(locks, ", ")),
+			})
+		}
+	}
+}
+
+// isFabricVerb reports whether obj is a latency-bearing method on
+// *rdma.Endpoint.
+func isFabricVerb(obj *types.Func) bool {
+	if !strings.HasSuffix(obj.Pkg().Path(), "internal/rdma") || !fabricVerbs[obj.Name()] {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Endpoint"
+}

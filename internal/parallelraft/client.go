@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"polardb/internal/rdma"
+	"polardb/internal/retry"
 	"polardb/internal/wire"
 )
 
@@ -13,7 +14,7 @@ import (
 // Callers (libpfs, the cluster manager) cache the result and re-locate on
 // ErrNotLeader.
 func LocateLeader(ep *rdma.Endpoint, group string, peers []rdma.NodeID, timeout time.Duration) (rdma.NodeID, error) {
-	deadline := time.Now().Add(timeout)
+	b := retry.NewBackoff(10*time.Millisecond, timeout)
 	method := "raft." + group + ".status"
 	// Status calls get a generous timeout: under CPU-saturated simulation
 	// a tight timeout would expire before the handler is even scheduled,
@@ -50,9 +51,8 @@ func LocateLeader(ep *rdma.Endpoint, group string, peers []rdma.NodeID, timeout 
 				}
 			}
 		}
-		if time.Now().After(deadline) {
+		if !b.Sleep() {
 			return "", ErrNoLeader
 		}
-		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"polardb/internal/parallelraft"
 	"polardb/internal/plog"
 	"polardb/internal/rdma"
+	"polardb/internal/retry"
 	"polardb/internal/types"
 	"polardb/internal/wire"
 )
@@ -50,6 +51,7 @@ func (c *Client) Partition(id types.PageID) int {
 // call issues an RPC to the chunk group's leader, re-locating on failure.
 func (c *Client) call(group, op string, req []byte) ([]byte, error) {
 	deadline := time.Now().Add(c.timeout)
+	b := retry.Until(deadline, 2*time.Millisecond)
 	method := "pfs." + group + "." + op
 	var lastErr error
 	for {
@@ -81,10 +83,9 @@ func (c *Client) call(group, op string, req []byte) ([]byte, error) {
 		c.mu.Lock()
 		delete(c.leaders, group)
 		c.mu.Unlock()
-		if time.Now().After(deadline) {
+		if !b.Sleep() {
 			return nil, fmt.Errorf("polarfs: %s on %s: %w", op, group, err)
 		}
-		time.Sleep(2 * time.Millisecond)
 	}
 }
 

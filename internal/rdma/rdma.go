@@ -51,13 +51,9 @@ func NewFabric(cfg Config) *Fabric {
 	return &Fabric{cfg: cfg, nodes: make(map[NodeID]*Endpoint)}
 }
 
-// Attach creates and registers an endpoint for a new node.
-func (f *Fabric) Attach(id NodeID) (*Endpoint, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if _, ok := f.nodes[id]; ok {
-		return nil, fmt.Errorf("%w: %s", ErrDuplicateNode, id)
-	}
+// attachLocked registers and returns a fresh endpoint for id. The caller
+// holds f.mu and has checked id is not already attached.
+func (f *Fabric) attachLocked(id NodeID) *Endpoint {
 	ep := &Endpoint{
 		id:       id,
 		fabric:   f,
@@ -65,7 +61,17 @@ func (f *Fabric) Attach(id NodeID) (*Endpoint, error) {
 		handlers: make(map[string]Handler),
 	}
 	f.nodes[id] = ep
-	return ep, nil
+	return ep
+}
+
+// Attach creates and registers an endpoint for a new node.
+func (f *Fabric) Attach(id NodeID) (*Endpoint, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.nodes[id]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateNode, id)
+	}
+	return f.attachLocked(id), nil
 }
 
 // MustAttach is Attach that panics on error; for wiring code where a
@@ -85,14 +91,7 @@ func (f *Fabric) MustAttachOrGet(id NodeID) *Endpoint {
 	if ep, ok := f.nodes[id]; ok {
 		return ep
 	}
-	ep := &Endpoint{
-		id:       id,
-		fabric:   f,
-		regions:  make(map[uint32]*Region),
-		handlers: make(map[string]Handler),
-	}
-	f.nodes[id] = ep
-	return ep
+	return f.attachLocked(id)
 }
 
 // Detach removes a node from the fabric. Subsequent operations targeting it

@@ -129,6 +129,51 @@ func (r *Region) casLocked(off uint64, old, new uint64) (uint64, bool, error) {
 	return cur, true, nil
 }
 
+// The Must*Local variants panic instead of returning an error. Local
+// region access fails only on out-of-bounds or misaligned offsets —
+// addressing bugs in the caller, not simulated infrastructure faults —
+// so callers with offsets they computed against the region's own layout
+// use these and keep fault-error handling (errdrop) meaningful.
+
+// MustReadLocal is ReadLocal for caller-computed offsets.
+func (r *Region) MustReadLocal(off uint64, dst []byte) {
+	if err := r.ReadLocal(off, dst); err != nil {
+		panic(fmt.Sprintf("rdma: local read r%d+%d: %v", r.id, off, err))
+	}
+}
+
+// MustWriteLocal is WriteLocal for caller-computed offsets.
+func (r *Region) MustWriteLocal(off uint64, src []byte) {
+	if err := r.WriteLocal(off, src); err != nil {
+		panic(fmt.Sprintf("rdma: local write r%d+%d: %v", r.id, off, err))
+	}
+}
+
+// MustLoad64Local is Load64Local for caller-computed offsets.
+func (r *Region) MustLoad64Local(off uint64) uint64 {
+	v, err := r.Load64Local(off)
+	if err != nil {
+		panic(fmt.Sprintf("rdma: local load r%d+%d: %v", r.id, off, err))
+	}
+	return v
+}
+
+// MustStore64Local is Store64Local for caller-computed offsets.
+func (r *Region) MustStore64Local(off uint64, v uint64) {
+	if err := r.Store64Local(off, v); err != nil {
+		panic(fmt.Sprintf("rdma: local store r%d+%d: %v", r.id, off, err))
+	}
+}
+
+// MustCAS64Local is CAS64Local for caller-computed offsets.
+func (r *Region) MustCAS64Local(off uint64, old, new uint64) (uint64, bool) {
+	cur, ok, err := r.CAS64Local(off, old, new)
+	if err != nil {
+		panic(fmt.Sprintf("rdma: local cas r%d+%d: %v", r.id, off, err))
+	}
+	return cur, ok
+}
+
 // RegisterRegion registers size bytes of node memory with the NIC and
 // returns the region handle. The contents start zeroed.
 func (e *Endpoint) RegisterRegion(size int) *Region {

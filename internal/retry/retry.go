@@ -1,0 +1,45 @@
+// Package retry is the repository's single audited polling primitive.
+//
+// The nosleep analyzer (internal/lint) forbids time.Sleep outside the
+// RDMA latency model: ad-hoc sleeps hide ordering assumptions and skew
+// simulated latency measurements. Code that must genuinely poll wall
+// clock — waiting out a switchover, re-locating a raft leader — does it
+// through a Backoff, so every polling loop in the tree is bounded by an
+// explicit window and visible at its call site as a retry, not a sleep.
+package retry
+
+import "time"
+
+// Backoff paces a bounded polling loop: it sleeps a fixed interval per
+// retry until its window expires. The zero value is not useful; build
+// one with NewBackoff or Until.
+type Backoff struct {
+	interval time.Duration
+	deadline time.Time
+}
+
+// NewBackoff returns a Backoff polling every interval for at most window
+// from now.
+func NewBackoff(interval, window time.Duration) *Backoff {
+	return Until(time.Now().Add(window), interval)
+}
+
+// Until returns a Backoff polling every interval up to an absolute
+// deadline the caller already computed.
+func Until(deadline time.Time, interval time.Duration) *Backoff {
+	return &Backoff{interval: interval, deadline: deadline}
+}
+
+// Expired reports whether the polling window has elapsed.
+func (b *Backoff) Expired() bool { return time.Now().After(b.deadline) }
+
+// Sleep pauses one interval and reports whether the caller should try
+// again; it returns false immediately once the window has expired.
+func (b *Backoff) Sleep() bool {
+	if b.Expired() {
+		return false
+	}
+	//polarvet:allow nosleep the tree's one audited polling sleep; every caller is bounded by an explicit window
+	time.Sleep(b.interval)
+	return true
+}

@@ -1,0 +1,37 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSleepPacesUntilWindowExpires(t *testing.T) {
+	b := NewBackoff(time.Millisecond, 20*time.Millisecond)
+	start := time.Now()
+	n := 0
+	for b.Sleep() {
+		n++
+		if n > 1000 {
+			t.Fatal("backoff did not expire")
+		}
+	}
+	if n == 0 {
+		t.Fatal("expected at least one retry inside the window")
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("loop exited after %v, before the 20ms window elapsed", elapsed)
+	}
+	if !b.Expired() {
+		t.Fatal("Expired should report true after Sleep returns false")
+	}
+}
+
+func TestUntilHonoursAbsoluteDeadline(t *testing.T) {
+	b := Until(time.Now().Add(-time.Millisecond), time.Millisecond)
+	if !b.Expired() {
+		t.Fatal("past deadline should be expired")
+	}
+	if b.Sleep() {
+		t.Fatal("Sleep must return false without pausing once expired")
+	}
+}

@@ -169,7 +169,7 @@ func (h *Home) Promote() {
 	h.mu.Lock()
 	h.passive = false
 	for _, e := range h.pat {
-		_ = h.meta.Store64Local(e.slotOff+8, pibStale)
+		h.meta.MustStore64Local(e.slotOff+8, pibStale)
 	}
 	h.mu.Unlock()
 }
@@ -332,57 +332,134 @@ func (h *Home) Shrink(targetSlots int) (int, error) {
 		h.evictLocked(h.lru.Front().Value.(*patEntry))
 		releaseEmpty()
 	}
-	// Phase 2: drain the emptiest slabs by force-evicting their remaining
-	// (referenced) pages. Holders drop their stale remote addresses and
-	// re-register on next access; page contents are always reconstructible
-	// from storage (log-before-page invariant), so nothing is lost. This
-	// produces exactly the behaviour the paper reports for scale-in:
-	// "performance drops immediately, as slabs and pages are removed from
-	// the remote buffer pool at once" (§6.2).
+	// Phase 2: defragment (§3.1.2). The emptiest slab's surviving pages —
+	// all referenced, or phase 1 would have drained them — are migrated
+	// into free slots of the retained slabs and the emptied slab is
+	// released. Holders are notified (cb.slabfail) to drop their stale
+	// remote addresses and re-register on next access. A slab whose pages
+	// do not fit elsewhere is kept: referenced pages pin their slab, and
+	// Shrink returns the capacity it achieved.
 	for total() > targetSlots && len(h.slabs) > 1 {
 		var victim *slabInfo
+		freeElsewhere := 0
 		for _, sl := range h.slabList {
 			used := sl.pages - len(sl.free)
 			if victim == nil || used < victim.pages-len(victim.free) {
 				victim = sl
 			}
 		}
-		if victim == nil {
+		for _, sl := range h.slabList {
+			if sl != victim {
+				freeElsewhere += len(sl.free)
+			}
+		}
+		if victim == nil || victim.pages-len(victim.free) > freeElsewhere {
 			break
 		}
-		var evict []*patEntry
-		holders := map[rdma.NodeID][]types.PageID{}
+		// Reserve a destination slot per page (best-fit: fullest slab
+		// first, matching allocateLocked) and mark the page stale so no
+		// holder trusts bytes we may copy mid-write.
+		type migration struct {
+			e       *patEntry
+			dst     slabKey
+			dstSlot int
+		}
+		var moves []migration
 		for _, e := range h.pat {
 			if e.slab != victim.key {
 				continue
 			}
+			var dst *slabInfo
+			for _, sl := range h.slabList {
+				if sl == victim || len(sl.free) == 0 {
+					continue
+				}
+				if dst == nil || len(sl.free) < len(dst.free) {
+					dst = sl
+				}
+			}
+			slot := dst.free[len(dst.free)-1]
+			dst.free = dst.free[:len(dst.free)-1]
+			h.meta.MustStore64Local(e.slotOff+8, pibStale)
+			moves = append(moves, migration{e, dst.key, slot})
+		}
+		// Detach the victim before releasing h.mu so concurrent
+		// registrations cannot allocate into it mid-migration. Its region
+		// stays live on the slab node until removeSlabLocked frees it.
+		delete(h.slabs, victim.key)
+		for i, sl := range h.slabList {
+			if sl == victim {
+				h.slabList = append(h.slabList[:i], h.slabList[i+1:]...)
+				break
+			}
+		}
+		h.mu.Unlock()
+		// Copy page bytes with one-sided verbs, h.mu released: fabric
+		// latency must not stall the control plane.
+		buf := make([]byte, types.PageSize)
+		failed := map[*patEntry]bool{}
+		for _, mv := range moves {
+			src := rdma.Addr{Node: victim.key.node, Region: victim.key.region, Off: uint64(mv.e.slot) * types.PageSize}
+			dst := rdma.Addr{Node: mv.dst.node, Region: mv.dst.region, Off: uint64(mv.dstSlot) * types.PageSize}
+			if err := h.ep.Read(src, buf); err != nil {
+				failed[mv.e] = true
+				continue
+			}
+			if err := h.ep.Write(dst, buf); err != nil {
+				failed[mv.e] = true
+			}
+		}
+		h.mu.Lock()
+		holders := map[rdma.NodeID][]types.PageID{}
+		for _, mv := range moves {
+			e := mv.e
 			for n := range e.refs {
 				holders[n] = append(holders[n], e.page)
 			}
-			evict = append(evict, e)
-		}
-		for _, e := range evict {
-			e.refs = map[rdma.NodeID]bool{}
-			if e.lruElem == nil {
-				e.lruElem = h.lru.PushBack(e)
+			if failed[e] || len(e.refs) == 0 {
+				// Slab node died mid-copy (page is reconstructible from
+				// storage, log-before-page) or the last holder left while
+				// we copied: drop the page and return the reserved slot.
+				if sl, ok := h.slabs[mv.dst]; ok {
+					sl.free = append(sl.free, mv.dstSlot)
+				}
+				h.evictLocked(e)
+				continue
 			}
-			h.evictLocked(e)
+			e.slab, e.slot = mv.dst, mv.dstSlot
+			// Mirror the move on the slave as evict + re-register.
+			h.replicate(replEvict(e.page))
+			firstRef := true
+			for n := range e.refs {
+				if firstRef {
+					h.replicate(replRegister(e.page, e.slab, e.slot, n))
+					firstRef = false
+				} else {
+					h.replicate(replAddRef(e.page, n))
+				}
+			}
 		}
 		h.removeSlabLocked(victim.key)
 		h.mu.Unlock()
 		for n, pages := range holders {
+			if h.isKicked(n) {
+				continue
+			}
 			w := wire.NewWriter(8 * len(pages))
 			w.U32(uint32(len(pages)))
 			for _, pg := range pages {
 				w.U32(uint32(pg.Space))
 				w.U32(uint32(pg.No))
 			}
-			_, _ = h.ep.CallTimeout(n, h.cfg.method("cb.slabfail"), w.Bytes(), h.cfg.InvalidateTimeout)
+			if _, err := h.ep.CallTimeout(n, h.cfg.method("cb.slabfail"), w.Bytes(), h.cfg.InvalidateTimeout); err != nil {
+				h.kickNode(n)
+			}
 		}
 		h.mu.Lock()
 	}
-	defer h.mu.Unlock()
-	return total(), nil
+	t := total()
+	h.mu.Unlock()
+	return t, nil
 }
 
 func (h *Home) removeSlabLocked(key slabKey) {
@@ -398,6 +475,7 @@ func (h *Home) removeSlabLocked(key slabKey) {
 	go func() {
 		w := wire.NewWriter(8)
 		w.U32(key.region)
+		//polarvet:allow errdrop best-effort free to a possibly-dead slab node; its memory dies with it and the PAT no longer references the region
 		_, _ = h.ep.Call(key.node, h.cfg.method("slab.free"), w.Bytes())
 	}()
 	h.replicate(replFreeSlab(key.node, key.region))
@@ -439,8 +517,8 @@ func (h *Home) evictLocked(e *patEntry) {
 		sl.free = append(sl.free, e.slot)
 	}
 	// Reset the metadata slot before reuse.
-	_ = h.meta.Store64Local(e.slotOff, 0)
-	_ = h.meta.Store64Local(e.slotOff+8, pibStale)
+	h.meta.MustStore64Local(e.slotOff, 0)
+	h.meta.MustStore64Local(e.slotOff+8, pibStale)
 	h.metaFree = append(h.metaFree, e.slotOff)
 	h.stats.Evictions++
 	h.replicate(replEvict(e.page))
@@ -558,8 +636,8 @@ func (h *Home) handleRegister(from rdma.NodeID, req []byte) ([]byte, error) {
 		e = &patEntry{page: page, slab: slab, slot: slot, slotOff: slotOff,
 			refs: map[rdma.NodeID]bool{from: true}}
 		h.pat[k] = e
-		_ = h.meta.Store64Local(slotOff, 0)
-		_ = h.meta.Store64Local(slotOff+8, pibStale) // no data written yet
+		h.meta.MustStore64Local(slotOff, 0)
+		h.meta.MustStore64Local(slotOff+8, pibStale) // no data written yet
 		h.replicate(replRegister(page, e.slab, e.slot, from))
 	}
 	if exists {
@@ -622,7 +700,7 @@ func (h *Home) handleInvalidate(from rdma.NodeID, req []byte) ([]byte, error) {
 		return nil, nil // not cached remotely: nothing to invalidate
 	}
 	h.stats.Invalidations++
-	_ = h.meta.Store64Local(e.slotOff+8, pibStale)
+	h.meta.MustStore64Local(e.slotOff+8, pibStale)
 	targets := make([]rdma.NodeID, 0, len(e.refs))
 	for n := range e.refs {
 		if n != from {
@@ -683,8 +761,8 @@ func (h *Home) HandleSlabFailure(node rdma.NodeID) {
 			e.lruElem = nil
 		}
 		delete(h.pat, e.page.Key())
-		_ = h.meta.Store64Local(e.slotOff, 0)
-		_ = h.meta.Store64Local(e.slotOff+8, pibStale)
+		h.meta.MustStore64Local(e.slotOff, 0)
+		h.meta.MustStore64Local(e.slotOff+8, pibStale)
 		h.metaFree = append(h.metaFree, e.slotOff)
 		h.replicate(replEvict(e.page))
 	}
@@ -703,12 +781,18 @@ func (h *Home) HandleSlabFailure(node rdma.NodeID) {
 	}
 	h.mu.Unlock()
 	for n, pages := range holders {
+		if h.isKicked(n) {
+			continue
+		}
 		w := wire.NewWriter(8 * len(pages))
 		w.U32(uint32(len(pages)))
 		for _, p := range pages {
 			w.U32(uint32(p.Space))
 			w.U32(uint32(p.No))
 		}
-		_, _ = h.ep.CallTimeout(n, h.cfg.method("cb.slabfail"), w.Bytes(), h.cfg.InvalidateTimeout)
+		if _, err := h.ep.CallTimeout(n, h.cfg.method("cb.slabfail"), w.Bytes(), h.cfg.InvalidateTimeout); err != nil {
+			// An unreachable holder is treated as dead, like the slab node.
+			h.kickNode(n)
+		}
 	}
 }

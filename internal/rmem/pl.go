@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"polardb/internal/rdma"
+	"polardb/internal/retry"
 	"polardb/internal/types"
 	"polardb/internal/wire"
 )
@@ -329,7 +330,8 @@ func (m *PLManager) ReleaseAll() {
 				if err != nil || plSCount(w) == 0 {
 					break
 				}
-				if _, ok, _ := m.ep.CAS64(h.addr, w, w-1); ok {
+				_, ok, err := m.ep.CAS64(h.addr, w, w-1)
+				if err != nil || ok {
 					break
 				}
 			}
@@ -349,7 +351,7 @@ var errLatchBusy = errors.New("rmem: latch busy")
 // homeGrant negotiates a latch grant on the home node's local word. It
 // revokes sticky X holders and waits for S counts to drain.
 func (h *Home) homeGrant(page types.PageID, mode PLMode, requester uint16) error {
-	deadline := time.Now().Add(h.cfg.LatchTimeout)
+	b := retry.NewBackoff(200*time.Microsecond, h.cfg.LatchTimeout)
 	for {
 		h.mu.Lock()
 		e, ok := h.pat[page.Key()]
@@ -366,21 +368,20 @@ func (h *Home) homeGrant(page types.PageID, mode PLMode, requester uint16) error
 		}
 		switch {
 		case mode == PLExclusive && w == 0:
-			if _, ok, _ := h.meta.CAS64Local(slotOff, 0, plMakeX(requester)); ok {
+			if _, ok := h.meta.MustCAS64Local(slotOff, 0, plMakeX(requester)); ok {
 				return nil
 			}
 		case mode == PLShared && !plIsX(w):
-			if _, ok, _ := h.meta.CAS64Local(slotOff, w, w+1); ok {
+			if _, ok := h.meta.MustCAS64Local(slotOff, w, w+1); ok {
 				return nil
 			}
 		case plIsX(w):
 			owner := plOwner(w)
 			h.revokeFromOwner(page, owner)
 		}
-		if time.Now().After(deadline) {
+		if !b.Sleep() {
 			return fmt.Errorf("%w: %s on %s", ErrLatchTimeout, mode, page)
 		}
-		time.Sleep(200 * time.Microsecond)
 	}
 }
 
@@ -406,9 +407,9 @@ func (h *Home) revokeFromOwner(page types.PageID, owner uint16) {
 	if err != nil {
 		// Owner unreachable (crashed): force-release so the cluster makes
 		// progress; recovery will have cleared its state.
-		cur, _ := h.meta.Load64Local(slotOff)
+		cur := h.meta.MustLoad64Local(slotOff)
 		if plIsX(cur) && plOwner(cur) == owner {
-			_, _, _ = h.meta.CAS64Local(slotOff, cur, 0)
+			h.meta.MustCAS64Local(slotOff, cur, 0)
 		}
 		if h.cfg.OnUnresponsive != nil {
 			h.cfg.OnUnresponsive(node)
@@ -465,12 +466,9 @@ func (h *Home) ReleaseNodeLatches(node rdma.NodeID) {
 	}
 	h.mu.Unlock()
 	for _, off := range offs {
-		w, err := h.meta.Load64Local(off)
-		if err != nil {
-			continue
-		}
+		w := h.meta.MustLoad64Local(off)
 		if plIsX(w) && plOwner(w) == idx {
-			_, _, _ = h.meta.CAS64Local(off, w, 0)
+			h.meta.MustCAS64Local(off, w, 0)
 		}
 	}
 }

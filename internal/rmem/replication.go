@@ -130,8 +130,8 @@ func (h *Home) handleReplicate(from rdma.NodeID, req []byte) ([]byte, error) {
 				}
 			}
 		}
-		_ = h.meta.Store64Local(slotOff, 0)
-		_ = h.meta.Store64Local(slotOff+8, pibStale)
+		h.meta.MustStore64Local(slotOff, 0)
+		h.meta.MustStore64Local(slotOff+8, pibStale)
 	case replOpAddRef:
 		ref := rdma.NodeID(rd.String())
 		if e, ok := h.pat[page.Key()]; ok {
@@ -163,7 +163,7 @@ func (h *Home) handleReplicate(from rdma.NodeID, req []byte) ([]byte, error) {
 		}
 	case replOpInvalidate:
 		if e, ok := h.pat[page.Key()]; ok {
-			_ = h.meta.Store64Local(e.slotOff+8, pibStale)
+			h.meta.MustStore64Local(e.slotOff+8, pibStale)
 		}
 	case replOpAddSlab:
 		node := rdma.NodeID(rd.String())

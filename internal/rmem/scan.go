@@ -22,7 +22,7 @@ func (h *Home) Scan() []ScanEntry {
 	defer h.mu.Unlock()
 	out := make([]ScanEntry, 0, len(h.pat))
 	for _, e := range h.pat {
-		pib, _ := h.meta.Load64Local(e.slotOff + 8)
+		pib := h.meta.MustLoad64Local(e.slotOff + 8)
 		out = append(out, ScanEntry{
 			Page:  e.page,
 			Data:  rdma.Addr{Node: e.slab.node, Region: e.slab.region, Off: uint64(e.slot) * types.PageSize},

@@ -45,7 +45,7 @@ func NewService(region *rdma.Region, slots int) *Service {
 		slots = DefaultCTSSlots
 	}
 	s := &Service{region: region, slots: slots}
-	_ = region.Store64Local(ctsCounterOff, 1)
+	region.MustStore64Local(ctsCounterOff, 1)
 	return s
 }
 
@@ -64,29 +64,29 @@ func (s *Service) NextTS() types.Timestamp {
 // SetCounter forces the sequence to continue from ts (recovery restores
 // the persisted high watermark so new timestamps exceed every old one).
 func (s *Service) SetCounter(ts types.Timestamp) {
-	_ = s.region.Store64Local(ctsCounterOff, uint64(ts))
+	s.region.MustStore64Local(ctsCounterOff, uint64(ts))
 }
 
 // CurrentTS returns the latest allocated timestamp without advancing.
 func (s *Service) CurrentTS() types.Timestamp {
-	v, _ := s.region.Load64Local(ctsCounterOff)
+	v := s.region.MustLoad64Local(ctsCounterOff)
 	return types.Timestamp(v)
 }
 
 // PublishLSN exposes the redo LSN to RO nodes (SMO clock, §4.1).
 func (s *Service) PublishLSN(lsn types.LSN) {
-	_ = s.region.Store64Local(ctsLSNOff, uint64(lsn))
+	s.region.MustStore64Local(ctsLSNOff, uint64(lsn))
 }
 
 // PublishedLSN reads back the published LSN locally.
 func (s *Service) PublishedLSN() types.LSN {
-	v, _ := s.region.Load64Local(ctsLSNOff)
+	v := s.region.MustLoad64Local(ctsLSNOff)
 	return types.LSN(v)
 }
 
 // SetMinActive publishes the oldest active transaction id.
 func (s *Service) SetMinActive(trx types.TrxID) {
-	_ = s.region.Store64Local(ctsMinActOff, uint64(trx))
+	s.region.MustStore64Local(ctsMinActOff, uint64(trx))
 }
 
 func (s *Service) slotOff(trx types.TrxID) uint64 {
@@ -101,7 +101,7 @@ func (s *Service) BeginInLog(trx types.TrxID) bool {
 	defer s.mu.Unlock()
 	off := s.slotOff(trx)
 	var cur [16]byte
-	_ = s.region.ReadLocal(off, cur[:])
+	s.region.MustReadLocal(off, cur[:])
 	curTrx := types.TrxID(getU64(cur[0:]))
 	curCTS := getU64(cur[8:])
 	if curTrx != 0 && curTrx != trx && curCTS == 0 {
@@ -109,7 +109,7 @@ func (s *Service) BeginInLog(trx types.TrxID) bool {
 	}
 	var buf [16]byte
 	putU64(buf[0:], uint64(trx))
-	_ = s.region.WriteLocal(off, buf[:])
+	s.region.MustWriteLocal(off, buf[:])
 	return true
 }
 
@@ -120,7 +120,7 @@ func (s *Service) RecordCommit(trx types.TrxID, cts types.Timestamp) {
 	var buf [16]byte
 	putU64(buf[0:], uint64(trx))
 	putU64(buf[8:], uint64(cts))
-	_ = s.region.WriteLocal(s.slotOff(trx), buf[:])
+	s.region.MustWriteLocal(s.slotOff(trx), buf[:])
 }
 
 // ClearSlot marks an aborted transaction's slot free (after rollback).
@@ -129,17 +129,17 @@ func (s *Service) ClearSlot(trx types.TrxID) {
 	defer s.mu.Unlock()
 	off := s.slotOff(trx)
 	var cur [16]byte
-	_ = s.region.ReadLocal(off, cur[:])
+	s.region.MustReadLocal(off, cur[:])
 	if types.TrxID(getU64(cur[0:])) == trx {
 		var zero [16]byte
-		_ = s.region.WriteLocal(off, zero[:])
+		s.region.MustWriteLocal(off, zero[:])
 	}
 }
 
 // Lookup resolves a transaction's commit status from the local CTS log.
 func (s *Service) Lookup(trx types.TrxID) (cts types.Timestamp, known bool) {
 	var buf [16]byte
-	_ = s.region.ReadLocal(s.slotOff(trx), buf[:])
+	s.region.MustReadLocal(s.slotOff(trx), buf[:])
 	return decodeSlot(trx, buf[:])
 }
 
