@@ -7,12 +7,17 @@
 //	polarbench -fig 9            # one figure (8, 9, 10a, 10b, 11..15)
 //	polarbench -all              # every figure
 //	polarbench -all -full        # larger datasets (closer to paper ratios)
+//	polarbench -all -out .       # also write BENCH_<id>.json per figure
+//	polarbench -report           # regenerate EXPERIMENTS.md measured
+//	                             # sections from BENCH_*.json (no runs)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"polardb/internal/bench"
@@ -38,11 +43,32 @@ func main() {
 	fig := flag.String("fig", "", "figure to regenerate (8, 9, 10a, 10b, 11, 12, 13, 14, 15)")
 	all := flag.Bool("all", false, "run every figure")
 	full := flag.Bool("full", false, "full scale (slower, closer to the paper's ratios)")
+	out := flag.String("out", "", "directory to write BENCH_<id>.json run records into")
+	report := flag.Bool("report", false, "re-render EXPERIMENTS.md measured sections from BENCH_*.json; runs nothing")
+	experiments := flag.String("experiments", "EXPERIMENTS.md", "experiments file updated by -report")
 	flag.Parse()
 
+	if *report {
+		dir := *out
+		if dir == "" {
+			dir = "."
+		}
+		ids, err := bench.Report(dir, *experiments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polarbench -report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "updated %s from %s\n", *experiments, strings.Join(ids, ", "))
+		return
+	}
+
 	sc := bench.Scale{Small: !*full}
+	scale := "small"
+	if *full {
+		scale = "full"
+	}
 	if !*all && *fig == "" {
-		fmt.Fprintln(os.Stderr, "usage: polarbench -fig <id> | -all [-full]")
+		fmt.Fprintln(os.Stderr, "usage: polarbench -fig <id> | -all [-full] [-out dir] | -report")
 		fmt.Fprintln(os.Stderr, "figures:")
 		for _, f := range figures {
 			fmt.Fprintf(os.Stderr, "  %-4s %s\n", f.id, f.doc)
@@ -64,6 +90,22 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "figure %s done in %v\n", f.id, time.Since(t0).Round(time.Millisecond))
 		r.Print(os.Stdout)
+		if *out != "" {
+			run := &bench.Run{
+				Schema: bench.RunSchema,
+				Fig:    f.id,
+				Date:   time.Now().Format("2006-01-02"),
+				Scale:  scale,
+				Result: r,
+			}
+			path := filepath.Join(*out, bench.RunFilename(r.ID))
+			if err := bench.WriteRun(path, run); err != nil {
+				fmt.Fprintf(os.Stderr, "figure %s: write %s: %v\n", f.id, path, err)
+				failed = true
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
 	}
 	if failed {
 		os.Exit(1)

@@ -3,6 +3,11 @@
 // serverless lifecycle — traffic, memory scaling, a planned RW migration,
 // and an unplanned crash with CM-driven recovery — printing what each
 // resource pool is doing.
+//
+// `polarctl stats` instead runs a short mixed workload and dumps every
+// per-node metric registry (fabric verbs, remote-memory traffic, engine
+// page sourcing, ...) as an aligned table — the observability surface
+// described in DESIGN.md's "Observability" section.
 package main
 
 import (
@@ -10,10 +15,12 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"sync/atomic"
 	"time"
 
 	"polardb/internal/retry"
+	"polardb/internal/stat"
 	"polardb/pkg/polar"
 )
 
@@ -22,6 +29,13 @@ func main() {
 	slabs := flag.Int("slabs", 4, "initial remote memory slabs (256 pages each)")
 	latency := flag.Bool("latency", true, "simulate RDMA/storage latency")
 	flag.Parse()
+
+	if flag.Arg(0) == "stats" {
+		if err := runStats(*replicas, *slabs, *latency); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	fmt.Println("launching PolarDB Serverless: 3 storage nodes (ParallelRaft),")
 	fmt.Printf("1 memory node (%d slabs), 1 RW + %d RO nodes, proxy, CM\n\n", *slabs, *replicas)
@@ -106,4 +120,44 @@ func main() {
 
 	close(stop)
 	fmt.Printf("\ndone: %d client operations, zero dropped sessions\n", ops.Load())
+}
+
+// runStats launches a small deployment, drives a brief mixed workload,
+// and prints every node's metric registry plus the cluster-wide totals.
+func runStats(replicas, slabs int, latency bool) error {
+	db, err := polar.Open(polar.Options{
+		ReadReplicas:      replicas,
+		MemorySlabs:       slabs,
+		LocalCachePages:   64, // small on purpose: force remote-memory traffic
+		SimulateLatency:   latency,
+		HeartbeatInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	if err := db.CreateTable("orders"); err != nil {
+		return err
+	}
+	s := db.Session()
+	defer s.Close()
+	rng := rand.New(rand.NewSource(1))
+	const ops = 3000
+	for i := 0; i < ops; i++ {
+		k := uint64(rng.Intn(2000))
+		if rng.Intn(3) == 0 {
+			if err := s.Exec("orders", polar.OpPut, k, []byte("order-payload")); err != nil {
+				return err
+			}
+		} else if _, _, err := s.Get("orders", k); err != nil {
+			return err
+		}
+	}
+
+	nodes := db.Metrics().Snapshot()
+	fmt.Printf("per-node metrics after %d mixed operations (%d RO, %d slabs):\n\n", ops, replicas, slabs)
+	stat.WriteTable(os.Stdout, nodes)
+	fmt.Println("\ncluster-wide totals:")
+	stat.WriteTable(os.Stdout, map[string]stat.Snapshot{"total": stat.Total(nodes)})
+	return nil
 }

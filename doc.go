@@ -3,7 +3,10 @@
 // (Cao et al., SIGMOD 2021).
 //
 // Use pkg/polar for the public API; see README.md for the architecture,
-// DESIGN.md for the system inventory and experiment index, and
-// EXPERIMENTS.md for paper-vs-measured results. The root-level
-// bench_test.go exposes one testing.B benchmark per paper figure.
+// DESIGN.md for the system inventory, experiment index and metric
+// inventory ("Observability"), and EXPERIMENTS.md for paper-vs-measured
+// results (measured sections regenerated from BENCH_*.json by
+// cmd/polarbench -report). The root-level bench_test.go exposes one
+// testing.B benchmark per paper figure; docdrift_test.go pins the
+// Observability table to the metrics the code registers.
 package polardb

@@ -1,0 +1,86 @@
+package polardb_test
+
+import (
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"polardb/pkg/polar"
+)
+
+// metricName matches the repo's metric naming scheme: at least three
+// lowercase dot-separated segments (rdma.read.ops, txn.cts.lookup.ops).
+// Filenames and package paths mentioned in prose have at most one dot,
+// so backticked code spans in the Observability section that match this
+// pattern are exactly the documented metric names.
+var metricName = regexp.MustCompile("`([a-z][a-z0-9_]*(?:\\.[a-z0-9_]+){2,})`")
+
+// TestObservabilityDocDrift pins DESIGN.md's "Observability" table to
+// the metrics the code actually registers: launch a full deployment
+// (RW + RO + memory + storage + proxy + CM, so every component
+// constructs its handles), take the union of registered names across
+// nodes, and require it to equal the set documented in DESIGN.md. A
+// metric added in code must be documented; a documented metric must
+// still exist.
+func TestObservabilityDocDrift(t *testing.T) {
+	doc, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	begin := strings.Index(text, "## Observability")
+	if begin < 0 {
+		t.Fatal("DESIGN.md has no \"## Observability\" section")
+	}
+	end := strings.Index(text[begin+1:], "\n## ")
+	if end < 0 {
+		end = len(text)
+	} else {
+		end += begin + 1
+	}
+	section := text[begin:end]
+
+	documented := map[string]bool{}
+	for _, m := range metricName.FindAllStringSubmatch(section, -1) {
+		documented[m[1]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("no metric names found in DESIGN.md's Observability section")
+	}
+
+	db, err := polar.Open(polar.Options{
+		ReadReplicas:    1,
+		MemorySlabs:     2,
+		LocalCachePages: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// Handles are registered eagerly at construction, so no traffic is
+	// needed for the full inventory to be visible.
+	registered := db.Metrics().Names()
+	if len(registered) == 0 {
+		t.Fatal("deployment registered no metrics")
+	}
+
+	regSet := map[string]bool{}
+	for _, n := range registered {
+		regSet[n] = true
+		if !documented[n] {
+			t.Errorf("metric %q is registered but missing from DESIGN.md's Observability table", n)
+		}
+	}
+	var stale []string
+	for n := range documented {
+		if !regSet[n] {
+			stale = append(stale, n)
+		}
+	}
+	sort.Strings(stale)
+	for _, n := range stale {
+		t.Errorf("DESIGN.md's Observability table lists %q, which no component registers", n)
+	}
+}

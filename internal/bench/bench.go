@@ -29,6 +29,7 @@ import (
 	"polardb/internal/btree"
 	"polardb/internal/cluster"
 	"polardb/internal/rdma"
+	"polardb/internal/stat"
 	"polardb/internal/txn"
 )
 
@@ -43,24 +44,42 @@ func GBPages(gb float64) int {
 
 // Result is one regenerated figure.
 type Result struct {
-	ID     string
-	Title  string
-	Series []Series
-	Notes  []string
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	Series []Series `json:"series"`
+	Notes  []string `json:"notes,omitempty"`
+	// Metrics are per-node stat registry snapshots captured from the
+	// figure's measurement clusters, keyed "<config prefix><node id>"
+	// (the prefix is empty for single-cluster figures). They record the
+	// per-layer traffic behind the figure's shape — verb mix, hit rates,
+	// invalidation fan-out — and land in BENCH_<id>.json.
+	Metrics map[string]stat.Snapshot `json:"metrics,omitempty"`
+}
+
+// Capture folds the cluster's per-node metric snapshots into the result
+// under prefix ("" for single-cluster figures, "<config>/" when a figure
+// launches one cluster per configuration).
+func (r *Result) Capture(prefix string, c *cluster.Cluster) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]stat.Snapshot)
+	}
+	for node, snap := range c.Fabric.Metrics().Snapshot() {
+		r.Metrics[prefix+node] = snap
+	}
 }
 
 // Series is one line/bar group of a figure.
 type Series struct {
-	Name   string
-	Points []Point
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
 }
 
 // Point is one measurement. Label is used for categorical X axes (query
 // names, configurations); X for numeric axes (time, memory size, threads).
 type Point struct {
-	Label string
-	X     float64
-	Y     float64
+	Label string  `json:"label,omitempty"`
+	X     float64 `json:"x,omitempty"`
+	Y     float64 `json:"y"`
 }
 
 // Print renders the result as aligned text tables.

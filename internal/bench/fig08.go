@@ -88,6 +88,7 @@ func Fig08(sc Scale) (*Result, error) {
 	sample(4*phase, sizesGB[3])
 
 	res.Series = []Series{qps, capacity}
+	res.Capture("", c)
 	res.Notes = append(res.Notes,
 		"expect: QPS ramps after each grow (slabs warm gradually); drops at the shrink, then recovers")
 	return res, nil

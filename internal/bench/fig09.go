@@ -49,7 +49,7 @@ func Fig09(sc Scale) (*Result, error) {
 
 	res := &Result{ID: "fig09", Title: "recovery timeline after RW switch/crash (QPS per window)"}
 	for _, v := range variants {
-		series, ttfs, ttr, err := fig09Variant(v.remoteMem, v.traditional, v.run, warm, rows, workers, v.name)
+		series, ttfs, ttr, err := fig09Variant(res, v.remoteMem, v.traditional, v.run, warm, rows, workers, v.name)
 		if err != nil {
 			return nil, fmt.Errorf("fig09 %s: %w", v.name, err)
 		}
@@ -61,7 +61,7 @@ func Fig09(sc Scale) (*Result, error) {
 	return res, nil
 }
 
-func fig09Variant(remoteMem, traditional bool, doSwitch func(*cluster.Cluster) error,
+func fig09Variant(res *Result, remoteMem, traditional bool, doSwitch func(*cluster.Cluster) error,
 	warm time.Duration, rows uint64, workers int, name string,
 ) (Series, time.Duration, time.Duration, error) {
 	cfg := cluster.Config{
@@ -166,5 +166,6 @@ func fig09Variant(remoteMem, traditional bool, doSwitch func(*cluster.Cluster) e
 		ttFirst = firstOK.Sub(crashAt)
 	}
 	stateMu.Unlock()
+	res.Capture(name+"/", c)
 	return series, ttFirst, ttRecover, nil
 }

@@ -47,10 +47,10 @@ func Fig10a(sc Scale) (*Result, error) {
 	classic := Series{Name: "PolarDB"}
 	// Single-core simulation runs are noisy; take the best of two runs
 	// per cell (stalls only ever lose throughput).
-	best := func(classicMode bool, cache, pool int) (float64, error) {
+	best := func(prefix string, classicMode bool, cache, pool int) (float64, error) {
 		bestQ := 0.0
 		for r := 0; r < 2; r++ {
-			q, err := fig10aRun(tp, classicMode, cache, pool, dur, workers)
+			q, err := fig10aRun(res, prefix, tp, classicMode, cache, pool, dur, workers)
 			if err != nil {
 				return 0, err
 			}
@@ -62,13 +62,13 @@ func Fig10a(sc Scale) (*Result, error) {
 	}
 	for _, cf := range configs {
 		// PolarDB Serverless: local cache LM, remote pool RM.
-		q, err := best(false, GBPages(cf.lmGB), GBPages(cf.rmGB))
+		q, err := best("serverless"+cf.label+"/", false, GBPages(cf.lmGB), GBPages(cf.rmGB))
 		if err != nil {
 			return nil, fmt.Errorf("fig10a serverless %s: %w", cf.label, err)
 		}
 		serverless.Points = append(serverless.Points, Point{Label: cf.label, Y: q * 60}) // tpmC
 		// Classic PolarDB: buffer pool M, no remote memory.
-		q, err = best(true, GBPages(cf.mGB), 0)
+		q, err = best("polardb"+cf.label+"/", true, GBPages(cf.mGB), 0)
 		if err != nil {
 			return nil, fmt.Errorf("fig10a polardb %s: %w", cf.label, err)
 		}
@@ -81,7 +81,7 @@ func Fig10a(sc Scale) (*Result, error) {
 	return res, nil
 }
 
-func fig10aRun(tp *workload.TPCC, classic bool, cachePages, poolPages int, dur time.Duration, workers int) (float64, error) {
+func fig10aRun(res *Result, prefix string, tp *workload.TPCC, classic bool, cachePages, poolPages int, dur time.Duration, workers int) (float64, error) {
 	cfg := cluster.Config{
 		RONodes:            0,
 		LocalCachePages:    cachePages,
@@ -112,6 +112,7 @@ func fig10aRun(tp *workload.TPCC, classic bool, cachePages, poolPages int, dur t
 		}
 		return err
 	})
+	res.Capture(prefix, c)
 	return float64(newOrders.Load()) / dur.Seconds(), err
 }
 
@@ -138,7 +139,7 @@ func Fig10b(sc Scale) (*Result, error) {
 	res := &Result{ID: "fig10b", Title: fmt.Sprintf("TPC-H latency (SF-lite=%d), Serverless vs PolarDB", sf)}
 	for _, cf := range configs {
 		series := Series{Name: cf.name}
-		lat, err := fig10bRun(sf, cf.classic, cf.cachePages, cf.poolPages, queries)
+		lat, err := fig10bRun(res, cf.name+"/", sf, cf.classic, cf.cachePages, cf.poolPages, queries)
 		if err != nil {
 			return nil, fmt.Errorf("fig10b %s: %w", cf.name, err)
 		}
@@ -153,7 +154,7 @@ func Fig10b(sc Scale) (*Result, error) {
 	return res, nil
 }
 
-func fig10bRun(sf int, classic bool, cachePages, poolPages int, queries []string) (map[string]time.Duration, error) {
+func fig10bRun(res *Result, prefix string, sf int, classic bool, cachePages, poolPages int, queries []string) (map[string]time.Duration, error) {
 	cfg := cluster.Config{
 		RONodes:            0,
 		LocalCachePages:    cachePages,
@@ -189,5 +190,6 @@ func fig10bRun(sf int, classic bool, cachePages, poolPages int, queries []string
 		}
 		out[q] = time.Since(t0)
 	}
+	res.Capture(prefix, c)
 	return out, nil
 }

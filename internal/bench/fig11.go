@@ -27,23 +27,23 @@ func Fig11(sc Scale) (*Result, error) {
 
 	panels := []struct {
 		name string
-		run  func(lmPages int) (float64, uint64, error)
+		run  func(prefix string, lmPages int) (float64, uint64, error)
 	}{
-		{"uniform", func(lm int) (float64, uint64, error) {
-			return fig11Sysbench(rows, workload.Uniform, lm, dur)
+		{"uniform", func(prefix string, lm int) (float64, uint64, error) {
+			return fig11Sysbench(res, prefix, rows, workload.Uniform, lm, dur)
 		}},
-		{"skewed", func(lm int) (float64, uint64, error) {
-			return fig11Sysbench(rows, workload.Skewed, lm, dur)
+		{"skewed", func(prefix string, lm int) (float64, uint64, error) {
+			return fig11Sysbench(res, prefix, rows, workload.Skewed, lm, dur)
 		}},
-		{"tpcc", func(lm int) (float64, uint64, error) {
-			return fig11TPCC(lm, dur, sc)
+		{"tpcc", func(prefix string, lm int) (float64, uint64, error) {
+			return fig11TPCC(res, prefix, lm, dur, sc)
 		}},
 	}
 	for _, p := range panels {
 		qps := Series{Name: p.name + " QPS"}
 		swapped := Series{Name: p.name + " pages swapped"}
 		for _, gb := range sizesGB {
-			q, sw, err := p.run(GBPages(gb))
+			q, sw, err := p.run(fmt.Sprintf("%s-LM%g/", p.name, gb), GBPages(gb))
 			if err != nil {
 				return nil, fmt.Errorf("fig11 %s lm=%v: %w", p.name, gb, err)
 			}
@@ -70,7 +70,7 @@ func fig11Cluster(lmPages int) (*cluster.Cluster, error) {
 	})
 }
 
-func fig11Sysbench(rows uint64, dist workload.Distribution, lmPages int, dur time.Duration) (float64, uint64, error) {
+func fig11Sysbench(res *Result, prefix string, rows uint64, dist workload.Distribution, lmPages int, dur time.Duration) (float64, uint64, error) {
 	c, err := fig11Cluster(lmPages)
 	if err != nil {
 		return 0, 0, err
@@ -89,10 +89,11 @@ func fig11Sysbench(rows uint64, dist workload.Distribution, lmPages int, dur tim
 		return err
 	})
 	st := c.RW.Engine.Cache().Stats()
+	res.Capture(prefix, c)
 	return qps, st.SwappedIn + st.SwappedOut, err
 }
 
-func fig11TPCC(lmPages int, dur time.Duration, sc Scale) (float64, uint64, error) {
+func fig11TPCC(res *Result, prefix string, lmPages int, dur time.Duration, sc Scale) (float64, uint64, error) {
 	c, err := fig11Cluster(lmPages)
 	if err != nil {
 		return 0, 0, err
@@ -114,5 +115,6 @@ func fig11TPCC(lmPages int, dur time.Duration, sc Scale) (float64, uint64, error
 		return err
 	})
 	st := c.RW.Engine.Cache().Stats()
+	res.Capture(prefix, c)
 	return tpm * 60, st.SwappedIn + st.SwappedOut, err
 }

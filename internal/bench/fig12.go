@@ -60,6 +60,7 @@ func Fig12(sc Scale) (*Result, error) {
 		}
 		res.Series = append(res.Series, series)
 	}
+	res.Capture("", c)
 	res.Notes = append(res.Notes,
 		"latency (ms) falls as the local cache grows; big-scan queries benefit most")
 	return res, nil

@@ -64,6 +64,7 @@ func Fig13(sc Scale) (*Result, error) {
 			series.Points = append(series.Points, Point{Label: q, Y: time.Since(t0).Seconds() * 1000})
 		}
 		s.Close()
+		res.Capture(fmt.Sprintf("RM%g/", gb), c)
 		c.Close()
 		res.Series = append(res.Series, series)
 	}

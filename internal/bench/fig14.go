@@ -36,7 +36,7 @@ func Fig14(sc Scale) (*Result, error) {
 			}
 			series := Series{Name: name}
 			for _, n := range threads {
-				qps, err := fig14Run(rows, dist, pess, n, dur)
+				qps, err := fig14Run(res, name+"/", rows, dist, pess, n, dur)
 				if err != nil {
 					return nil, fmt.Errorf("fig14 %s n=%d: %w", name, n, err)
 				}
@@ -50,7 +50,7 @@ func Fig14(sc Scale) (*Result, error) {
 	return res, nil
 }
 
-func fig14Run(rows uint64, dist workload.Distribution, pessimistic bool, threads int, dur time.Duration) (float64, error) {
+func fig14Run(res *Result, prefix string, rows uint64, dist workload.Distribution, pessimistic bool, threads int, dur time.Duration) (float64, error) {
 	cfg := cluster.Config{
 		RONodes:            1,
 		LocalCachePages:    GBPages(4),
@@ -100,5 +100,6 @@ func fig14Run(rows uint64, dist workload.Distribution, pessimistic bool, threads
 	})
 	close(stopW)
 	<-writerDone
+	res.Capture(prefix, c)
 	return qps, err
 }

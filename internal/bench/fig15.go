@@ -23,11 +23,11 @@ func Fig15(sc Scale) (*Result, error) {
 	}
 	res := &Result{ID: "fig15", Title: "BKP prefetching on remote memory (a) and remote storage (b)"}
 
-	memPlain, memBKP, err := fig15Run(sfMem, true, queries)
+	memPlain, memBKP, err := fig15Run(res, "mem/", sfMem, true, queries)
 	if err != nil {
 		return nil, fmt.Errorf("fig15a: %w", err)
 	}
-	stoPlain, stoBKP, err := fig15Run(sfSto, false, queries)
+	stoPlain, stoBKP, err := fig15Run(res, "storage/", sfSto, false, queries)
 	if err != nil {
 		return nil, fmt.Errorf("fig15b: %w", err)
 	}
@@ -50,7 +50,7 @@ func Fig15(sc Scale) (*Result, error) {
 
 // fig15Run measures each query cold (local cache dropped) with and
 // without BKP. remoteMem=false turns the pool off so misses go to storage.
-func fig15Run(sf int, remoteMem bool, queries []string) (plain, bkp map[string]time.Duration, err error) {
+func fig15Run(res *Result, prefix string, sf int, remoteMem bool, queries []string) (plain, bkp map[string]time.Duration, err error) {
 	cfg := cluster.Config{
 		RONodes:            0,
 		LocalCachePages:    GBPages(2),
@@ -98,5 +98,6 @@ func fig15Run(sf int, remoteMem bool, queries []string) (plain, bkp map[string]t
 	if err != nil {
 		return nil, nil, err
 	}
+	res.Capture(prefix, c)
 	return plain, bkp, nil
 }

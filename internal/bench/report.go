@@ -1,0 +1,291 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// RunSchema versions the BENCH_*.json layout; bump on incompatible
+// changes so -report can refuse stale files instead of mis-rendering.
+const RunSchema = 1
+
+// Run is the machine-readable record of one figure run, persisted as
+// BENCH_<result id>.json. EXPERIMENTS.md's measured sections are a pure
+// function of these files: `polarbench -report` re-renders them without
+// re-running anything, and re-rendering the same JSON is byte-identical.
+type Run struct {
+	Schema int     `json:"schema"`
+	Fig    string  `json:"fig"`   // polarbench -fig id ("8", "10a", ...)
+	Date   string  `json:"date"`  // YYYY-MM-DD, stamped when the run was written
+	Scale  string  `json:"scale"` // "small" or "full"
+	Result *Result `json:"result"`
+}
+
+// RunFilename returns the canonical JSON filename for a figure result.
+func RunFilename(resultID string) string { return "BENCH_" + resultID + ".json" }
+
+// WriteRun persists the run, indented and with sorted keys (Go marshals
+// map keys sorted), so diffs of committed BENCH_*.json stay readable.
+func WriteRun(path string, run *Run) error {
+	buf, err := json.MarshalIndent(run, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o666)
+}
+
+// LoadRun reads a BENCH_*.json file back.
+func LoadRun(path string) (*Run, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var run Run
+	if err := json.Unmarshal(buf, &run); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if run.Schema != RunSchema {
+		return nil, fmt.Errorf("%s: schema %d, want %d (re-run polarbench)", path, run.Schema, RunSchema)
+	}
+	if run.Result == nil {
+		return nil, fmt.Errorf("%s: no result", path)
+	}
+	return &run, nil
+}
+
+// digestCounters is the fixed, ordered set of per-layer counters the
+// measured sections surface (only those present and nonzero are shown).
+// Totals are summed across every captured node and configuration.
+var digestCounters = []string{
+	"rdma.read.ops",
+	"rdma.write.ops",
+	"rdma.atomic.ops",
+	"rdma.rpc.ops",
+	"engine.page.local_hit",
+	"engine.page.remote_read",
+	"engine.page.storage_read",
+	"rmem.home.hits",
+	"rmem.home.misses",
+	"rmem.home.evictions",
+	"rmem.invalidate.sent",
+	"rmem.pl.fast",
+	"rmem.pl.slow",
+	"rmem.pl.sticky",
+	"rmem.pl.revoke",
+	"engine.mtr.commit",
+	"raft.propose.ops",
+}
+
+// digestHists are the latency histograms worth a mean in the digest.
+var digestHists = []string{
+	"rdma.read.us",
+	"rdma.rpc.us",
+	"pfs.get_page.us",
+	"pfs.append_redo.us",
+}
+
+// RenderMeasured renders the run's measured section body (the text
+// between the figure's polarbench markers in EXPERIMENTS.md). It is a
+// pure function of the Run, so re-rendering unchanged JSON is
+// byte-identical.
+func (run *Run) RenderMeasured() string {
+	var b strings.Builder
+	r := run.Result
+	fmt.Fprintf(&b, "**Measured** — %s scale, %s, `go run ./cmd/polarbench -fig %s -out .` (`%s`):\n",
+		run.Scale, run.Date, run.Fig, RunFilename(r.ID))
+
+	if categorical(r) {
+		renderCategorical(&b, r)
+	} else {
+		renderNumeric(&b, r)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "> %s\n", n)
+	}
+	renderDigest(&b, r)
+	return b.String()
+}
+
+func categorical(r *Result) bool {
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if p.Label != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// renderCategorical emits a markdown table: rows = labels (first-seen
+// order), one column per series.
+func renderCategorical(b *strings.Builder, r *Result) {
+	var labels []string
+	seen := map[string]bool{}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if !seen[p.Label] {
+				seen[p.Label] = true
+				labels = append(labels, p.Label)
+			}
+		}
+	}
+	b.WriteString("\n|  |")
+	for _, s := range r.Series {
+		fmt.Fprintf(b, " %s |", s.Name)
+	}
+	b.WriteString("\n|---|")
+	for range r.Series {
+		b.WriteString("---:|")
+	}
+	b.WriteString("\n")
+	for _, l := range labels {
+		fmt.Fprintf(b, "| %s |", l)
+		for _, s := range r.Series {
+			if v, ok := lookup(s, l); ok {
+				fmt.Fprintf(b, " %s |", fmtFloat(v))
+			} else {
+				b.WriteString(" - |")
+			}
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\n")
+}
+
+// renderNumeric digests timeline-style series (many x/y samples) into
+// per-series summary rows instead of dumping every window.
+func renderNumeric(b *strings.Builder, r *Result) {
+	b.WriteString("\n| series | points | first | min | max | last |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---:|\n")
+	for _, s := range r.Series {
+		if len(s.Points) == 0 {
+			fmt.Fprintf(b, "| %s | 0 | - | - | - | - |\n", s.Name)
+			continue
+		}
+		first, last := s.Points[0].Y, s.Points[len(s.Points)-1].Y
+		min, max := first, first
+		for _, p := range s.Points {
+			if p.Y < min {
+				min = p.Y
+			}
+			if p.Y > max {
+				max = p.Y
+			}
+		}
+		fmt.Fprintf(b, "| %s | %d | %s | %s | %s | %s |\n",
+			s.Name, len(s.Points), fmtFloat(first), fmtFloat(min), fmtFloat(max), fmtFloat(last))
+	}
+	b.WriteString("\n")
+}
+
+// renderDigest emits the per-layer traffic totals behind the figure.
+func renderDigest(b *strings.Builder, r *Result) {
+	if len(r.Metrics) == 0 {
+		return
+	}
+	counters := map[string]uint64{}
+	type hsum struct{ count, sumNS uint64 }
+	hists := map[string]hsum{}
+	for _, snap := range r.Metrics {
+		for name, v := range snap.Counters {
+			counters[name] += v
+		}
+		for name, h := range snap.Histograms {
+			cur := hists[name]
+			cur.count += h.Count
+			cur.sumNS += h.SumNS
+			hists[name] = cur
+		}
+	}
+	var parts []string
+	for _, name := range digestCounters {
+		if v := counters[name]; v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	for _, name := range digestHists {
+		if h := hists[name]; h.count > 0 {
+			parts = append(parts, fmt.Sprintf("%s(mean)=%.1fµs", name, float64(h.sumNS)/float64(h.count)/1e3))
+		}
+	}
+	if len(parts) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "\nPer-layer traffic (summed over %d captured node registries):\n", len(r.Metrics))
+	fmt.Fprintf(b, "`%s`\n", strings.Join(parts, "` `"))
+}
+
+// fmtFloat renders measurement values compactly and deterministically:
+// two decimals, with trailing ".00" dropped for whole numbers.
+func fmtFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimSuffix(s, ".00")
+	return s
+}
+
+// Marker delimiting a generated measured section in EXPERIMENTS.md.
+func beginMarker(id string) string { return "<!-- polarbench:begin " + id + " -->" }
+func endMarker(id string) string   { return "<!-- polarbench:end " + id + " -->" }
+
+// UpdateExperiments replaces the generated section for the run's figure
+// (the text between its polarbench begin/end markers) in doc. The
+// markers themselves are kept, so the update is re-runnable.
+func UpdateExperiments(doc string, run *Run) (string, error) {
+	id := run.Result.ID
+	begin, end := beginMarker(id), endMarker(id)
+	bi := strings.Index(doc, begin)
+	if bi < 0 {
+		return "", fmt.Errorf("EXPERIMENTS.md: marker %q not found", begin)
+	}
+	ei := strings.Index(doc, end)
+	if ei < 0 {
+		return "", fmt.Errorf("EXPERIMENTS.md: marker %q not found", end)
+	}
+	if ei < bi {
+		return "", fmt.Errorf("EXPERIMENTS.md: %q precedes %q", end, begin)
+	}
+	return doc[:bi+len(begin)] + "\n" + run.RenderMeasured() + doc[ei:], nil
+}
+
+// Report loads every BENCH_*.json under dir and rewrites the matching
+// measured sections of the experiments file in place. Returns the ids
+// updated (sorted).
+func Report(dir, experiments string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "BENCH_") && strings.HasSuffix(name, ".json") {
+			paths = append(paths, dir+string(os.PathSeparator)+name)
+		}
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no BENCH_*.json in %s (run polarbench -all -out %s first)", dir, dir)
+	}
+	sort.Strings(paths)
+	docBytes, err := os.ReadFile(experiments)
+	if err != nil {
+		return nil, err
+	}
+	doc := string(docBytes)
+	var ids []string
+	for _, p := range paths {
+		run, err := LoadRun(p)
+		if err != nil {
+			return nil, err
+		}
+		doc, err = UpdateExperiments(doc, run)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, run.Result.ID)
+	}
+	return ids, os.WriteFile(experiments, []byte(doc), 0o666)
+}

@@ -32,6 +32,7 @@ import (
 	"polardb/internal/polarfs"
 	"polardb/internal/rdma"
 	"polardb/internal/rmem"
+	"polardb/internal/stat"
 	"polardb/internal/txn"
 	"polardb/internal/types"
 )
@@ -172,6 +173,40 @@ type Engine struct {
 	wg      sync.WaitGroup
 
 	stats EngineStats
+	met   engineMetrics
+}
+
+// engineMetrics are the node registry's view of engine events: the
+// three-tier page hierarchy, the §3.1.4 modification pipeline, and the
+// §4.2/§3.2 cross-node protocols.
+type engineMetrics struct {
+	localHit    *stat.Counter // Fetch served from the local cache tier
+	remoteRead  *stat.Counter // pages read from the remote memory tier
+	storageRead *stat.Counter // pages read from PolarFS
+	mtrCommit   *stat.Counter // non-empty mini-transactions committed
+	txnCommit   *stat.Counter // user transactions committed
+	txnAbort    *stat.Counter // user transactions rolled back
+	flushServed *stat.Counter // RO-triggered write-backs served (RW)
+	smoLatchX   *stat.Counter // global latch X acquisitions (SMOs)
+	smoLatchS   *stat.Counter // global latch S acquisitions (RO Plock)
+	flushBatch  *stat.Counter // redo batches persisted by the shipper
+	flushRecs   *stat.Counter // redo records persisted by the shipper
+}
+
+func newEngineMetrics(r *stat.Registry) engineMetrics {
+	return engineMetrics{
+		localHit:    r.Counter("engine.page.local_hit"),
+		remoteRead:  r.Counter("engine.page.remote_read"),
+		storageRead: r.Counter("engine.page.storage_read"),
+		mtrCommit:   r.Counter("engine.mtr.commit"),
+		txnCommit:   r.Counter("engine.txn.commit"),
+		txnAbort:    r.Counter("engine.txn.abort"),
+		flushServed: r.Counter("engine.flush.served"),
+		smoLatchX:   r.Counter("engine.smo.latch_x"),
+		smoLatchS:   r.Counter("engine.smo.latch_s"),
+		flushBatch:  r.Counter("engine.redo.flush.batches"),
+		flushRecs:   r.Counter("engine.redo.flush.records"),
+	}
 }
 
 // EngineStats counts engine-level events for the benchmark harness.
@@ -231,6 +266,7 @@ func newEngine(deps Deps, cfg Config) *Engine {
 		nudge:      make(chan struct{}, 1),
 		backfillCh: make(chan backfillItem, 4096),
 		closeCh:    make(chan struct{}),
+		met:        newEngineMetrics(deps.EP.Metrics()),
 	}
 	e.shippedCond = sync.NewCond(&e.shippedMu)
 	e.mtrCond = sync.NewCond(&e.mtrMu)
@@ -323,6 +359,7 @@ func (e *Engine) Fetch(id types.PageID) (*cache.Frame, error) {
 	for {
 		if f := e.cache.Get(id); f != nil {
 			if !f.Invalid() {
+				e.met.localHit.Inc()
 				return f, nil
 			}
 			if err := e.refreshFrame(f); err != nil {
@@ -400,6 +437,7 @@ func (e *Engine) loadFrame(id types.PageID) (*cache.Frame, error) {
 	}
 	if fromRemote {
 		e.stats.RemoteReads.Add(1)
+		e.met.remoteRead.Inc()
 		f.NewestLSN = types.LSN(binary.LittleEndian.Uint64(f.Data[0:8]))
 		f.ShippedLSN = f.NewestLSN
 	} else {
@@ -411,6 +449,7 @@ func (e *Engine) loadFrame(id types.PageID) (*cache.Frame, error) {
 			return nil, err
 		}
 		e.stats.StorageReads.Add(1)
+		e.met.storageRead.Inc()
 		if exists {
 			copy(f.Data, data)
 		}
@@ -499,6 +538,7 @@ func (e *Engine) refreshFrame(f *cache.Frame) error {
 	if f.Remote.Registered {
 		if err := e.readRemoteFresh(f); err == nil {
 			e.stats.RemoteReads.Add(1)
+			e.met.remoteRead.Inc()
 			f.NewestLSN = types.LSN(binary.LittleEndian.Uint64(f.Data[0:8]))
 			f.ShippedLSN = f.NewestLSN
 			f.SetInvalid(false)
@@ -512,6 +552,7 @@ func (e *Engine) refreshFrame(f *cache.Frame) error {
 		return err
 	}
 	e.stats.StorageReads.Add(1)
+	e.met.storageRead.Inc()
 	if exists {
 		copy(f.Data, data)
 	} else {
@@ -572,6 +613,7 @@ func (e *Engine) PLLockX(f *cache.Frame) error {
 	if e.pool == nil || !f.Remote.Registered {
 		return nil
 	}
+	e.met.smoLatchX.Inc()
 	return e.pool.PL().LockX(f.ID, f.Remote.PL)
 }
 
@@ -589,6 +631,7 @@ func (e *Engine) PLLockS(f *cache.Frame) error {
 	if e.pool == nil || !f.Remote.Registered {
 		return nil
 	}
+	e.met.smoLatchS.Inc()
 	return e.pool.PL().LockS(f.ID, f.Remote.PL)
 }
 
@@ -689,6 +732,7 @@ func (mt *Mtr) Commit() (types.LSN, error) {
 		}
 	}
 	end := mt.e.buf.Append(mt.m)
+	mt.e.met.mtrCommit.Inc()
 	mt.e.cts.PublishLSN(end)
 	for _, f := range mt.frames {
 		f.Latch.Lock()

@@ -13,7 +13,11 @@ import (
 	"polardb/internal/types"
 )
 
-func newBufferAt(start types.LSN) *plog.Buffer { return plog.NewBuffer(start) }
+func (e *Engine) newBufferAt(start types.LSN) *plog.Buffer {
+	b := plog.NewBuffer(start)
+	b.AttachMetrics(e.ep.Metrics())
+	return b
+}
 
 // Recover turns this engine into the serving RW after a failover (§5.1).
 // oldRW is the failed node (for latch release); planned skips the steps a
@@ -47,7 +51,7 @@ func (e *Engine) Recover(oldRW rdma.NodeID, planned bool) error {
 	if err != nil {
 		return fmt.Errorf("engine: parallel redo: %w", err)
 	}
-	e.buf = newBufferAt(tail)
+	e.buf = e.newBufferAt(tail)
 	e.buf.MarkFlushed(tail)
 	e.setShipped(tail)
 	e.cts.PublishLSN(tail)

@@ -32,6 +32,7 @@ func (e *Engine) handleFlushPage(from rdma.NodeID, req []byte) ([]byte, error) {
 		return []byte{0}, nil
 	}
 	e.stats.FlushRequests.Add(1)
+	e.met.flushServed.Inc()
 	// A frame modified by a still-open mini-transaction must not be
 	// shipped: its bytes may reference the MTR's other pages (e.g. a data
 	// row pointing at a new undo record) whose remote copies are not yet

@@ -36,6 +36,8 @@ func (e *Engine) shipper() {
 			return
 		}
 		e.buf.MarkFlushed(last)
+		e.met.flushBatch.Inc()
+		e.met.flushRecs.Add(uint64(len(pending)))
 		if !e.retry(func() error { return e.pfs.ShipRecords(pending, last) }) {
 			return
 		}

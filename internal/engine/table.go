@@ -241,7 +241,7 @@ func (e *Engine) Bootstrap() error {
 	if e.cfg.ReadOnly {
 		return ErrNotRW
 	}
-	e.buf = newBufferAt(0)
+	e.buf = e.newBufferAt(0)
 	mt := e.BeginMtr()
 	if _, err := btree.Create(e, mt, CatalogSpace); err != nil {
 		return err

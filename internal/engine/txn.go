@@ -425,6 +425,7 @@ func (t *Txn) Commit() error {
 	if t.writes == 0 {
 		e.cts.ClearSlot(t.id)
 		e.stats.Commits.Add(1)
+		e.met.txnCommit.Inc()
 		return nil
 	}
 	ctsCommit := e.cts.NextTS()
@@ -455,10 +456,12 @@ func (t *Txn) Commit() error {
 		// The node died before the commit became durable; recovery on the
 		// new RW rolls this transaction back.
 		e.stats.Aborts.Add(1)
+		e.met.txnAbort.Inc()
 		return err
 	}
 	e.cts.RecordCommit(t.id, ctsCommit)
 	e.stats.Commits.Add(1)
+	e.met.txnCommit.Inc()
 	// Backfill cts_commit into the modified records asynchronously.
 	for _, k := range t.touched {
 		select {
@@ -492,6 +495,7 @@ func (t *Txn) Rollback() error {
 	err := e.rollbackChain(t.id, t.lastPg, t.lastOff, t.slot)
 	e.cts.ClearSlot(t.id)
 	e.stats.Aborts.Add(1)
+	e.met.txnAbort.Inc()
 	return err
 }
 

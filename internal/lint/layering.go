@@ -8,13 +8,17 @@ import (
 
 // Layering enforces the package DAG of the disaggregated architecture.
 // The table below is the single source of truth for which internal
-// packages may import which: leaves (types, wire, rdma, retry, lint)
-// import no siblings; the memory/storage/txn tiers sit on the fabric;
-// engine composes the tiers; cluster composes engines; workload and
-// bench sit on top. Crucially, nothing below cluster may reach up into
-// cluster or engine — a b-tree or remote-memory client that could call
-// the engine would let state flow around the fabric instead of through
-// it.
+// packages may import which: leaves (types, wire, stat, retry, lint)
+// import no siblings; rdma sits on stat (endpoints record verb metrics);
+// the memory/storage/txn tiers sit on the fabric; engine composes the
+// tiers; cluster composes engines; workload and bench sit on top.
+// Crucially, nothing below cluster may reach up into cluster or engine —
+// a b-tree or remote-memory client that could call the engine would let
+// state flow around the fabric instead of through it.
+//
+// stat is deliberately importable from every layer: observability must
+// thread through each cross-node path without creating edges between
+// the layers themselves (stat itself imports nothing).
 //
 // cmd/, pkg/ and examples/ are composition roots and are unrestricted.
 // An internal package missing from the table is itself a finding: new
@@ -26,20 +30,21 @@ type Layering struct{}
 var allowedImports = map[string][]string{
 	"types":        {},
 	"wire":         {},
-	"rdma":         {},
+	"stat":         {},
+	"rdma":         {"stat"},
 	"retry":        {},
 	"lint":         {},
-	"cache":        {"rdma", "types"},
-	"btree":        {"cache", "types"},
-	"plog":         {"types", "wire"},
-	"parallelraft": {"rdma", "retry", "types", "wire"},
-	"polarfs":      {"parallelraft", "plog", "rdma", "retry", "types", "wire"},
-	"rmem":         {"rdma", "retry", "types", "wire"},
-	"txn":          {"rdma", "types", "wire"},
-	"engine":       {"btree", "cache", "plog", "polarfs", "rdma", "retry", "rmem", "txn", "types", "wire"},
-	"cluster":      {"btree", "engine", "parallelraft", "plog", "polarfs", "rdma", "retry", "rmem", "txn", "types", "wire"},
-	"workload":     {"cluster", "engine", "rdma", "retry", "types"},
-	"bench":        {"btree", "cluster", "engine", "rdma", "retry", "txn", "types", "wire", "workload"},
+	"cache":        {"rdma", "stat", "types"},
+	"btree":        {"cache", "stat", "types"},
+	"plog":         {"stat", "types", "wire"},
+	"parallelraft": {"rdma", "retry", "stat", "types", "wire"},
+	"polarfs":      {"parallelraft", "plog", "rdma", "retry", "stat", "types", "wire"},
+	"rmem":         {"rdma", "retry", "stat", "types", "wire"},
+	"txn":          {"rdma", "stat", "types", "wire"},
+	"engine":       {"btree", "cache", "plog", "polarfs", "rdma", "retry", "rmem", "stat", "txn", "types", "wire"},
+	"cluster":      {"btree", "engine", "parallelraft", "plog", "polarfs", "rdma", "retry", "rmem", "stat", "txn", "types", "wire"},
+	"workload":     {"cluster", "engine", "rdma", "retry", "stat", "types"},
+	"bench":        {"btree", "cluster", "engine", "rdma", "retry", "stat", "txn", "types", "wire", "workload"},
 }
 
 // Name implements Analyzer.

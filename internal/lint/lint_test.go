@@ -180,6 +180,41 @@ var _ = cluster.Order
 		[3]interface{}{"layering", "internal/mystery/mystery.go", 1})
 }
 
+// TestLayeringStatRow pins the observability row of the table: stat is
+// importable from every layer (here the extremes: the rdma leaf and the
+// bench top), while stat itself stays a leaf — it may not import even
+// types, let alone reach up into a tier.
+func TestLayeringStatRow(t *testing.T) {
+	mod := writeModule(t, map[string]string{
+		"internal/stat/stat.go": "package stat\n\ntype Counter struct{}\n",
+		"internal/rdma/rdma.go": `package rdma
+
+import "polardb/internal/stat"
+
+var _ stat.Counter
+`,
+		"internal/bench/bench.go": `package bench
+
+import "polardb/internal/stat"
+
+var _ stat.Counter
+`,
+	})
+	wantFindings(t, runOnly(t, mod, "layering", "./..."))
+
+	bad := writeModule(t, map[string]string{
+		"internal/types/types.go": "package types\n\ntype PageNo uint32\n",
+		"internal/stat/stat.go": `package stat
+
+import "polardb/internal/types"
+
+var _ types.PageNo
+`,
+	})
+	wantFindings(t, runOnly(t, bad, "layering", "./..."),
+		[3]interface{}{"layering", "internal/stat/stat.go", 3})
+}
+
 func TestLayeringCleanAndUnrestrictedRoots(t *testing.T) {
 	mod := writeModule(t, map[string]string{
 		"internal/rdma/rdma.go": fakeRdma,

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"polardb/internal/rdma"
+	"polardb/internal/stat"
 	"polardb/internal/wire"
 )
 
@@ -211,6 +212,10 @@ type Replica struct {
 	closeCh chan struct{}
 	wg      sync.WaitGroup
 	rng     *rand.Rand
+
+	metPropose *stat.Counter   // entries proposed on this replica
+	metCommit  *stat.Histogram // propose-to-majority-commit latency
+	metAppend  *stat.Counter   // follower append RPCs served
 }
 
 // NewReplica creates a replica attached to ep and starts its timers.
@@ -228,6 +233,10 @@ func NewReplica(ep *rdma.Endpoint, cfg Config, sm StateMachine) *Replica {
 		waiters:   make(map[uint64][]proposeWaiter),
 		closeCh:   make(chan struct{}),
 		rng:       rand.New(rand.NewSource(int64(hashNode(ep.ID())))),
+
+		metPropose: ep.Metrics().Counter("raft.propose.ops"),
+		metCommit:  ep.Metrics().Histogram("raft.propose.us"),
+		metAppend:  ep.Metrics().Counter("raft.append.served"),
 	}
 	r.inflightCond = sync.NewCond(&r.mu)
 	r.lastHeartbeat = time.Now()
@@ -359,6 +368,8 @@ func (r *Replica) Propose(cmd []byte, ranges []Range) (uint64, error) {
 	if len(ranges) == 0 {
 		ranges = FullRange
 	}
+	r.metPropose.Inc()
+	start := time.Now()
 	r.mu.Lock()
 	for {
 		if r.closed {
@@ -397,6 +408,9 @@ func (r *Replica) Propose(cmd []byte, ranges []Range) (uint64, error) {
 
 	select {
 	case err := <-w.ch:
+		if err == nil {
+			r.metCommit.Observe(time.Since(start))
+		}
 		return idx, err
 	case <-r.closeCh:
 		return 0, ErrShutdown
@@ -481,6 +495,7 @@ func (r *Replica) committedBeyondPrefixLocked() []uint64 {
 
 // handleAppend processes an AppendEntries/heartbeat RPC on a follower.
 func (r *Replica) handleAppend(from rdma.NodeID, req []byte) ([]byte, error) {
+	r.metAppend.Inc()
 	rd := wire.NewReader(req)
 	term := rd.U64()
 	leaderID := rdma.NodeID(rd.String())

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 
+	"polardb/internal/stat"
 	"polardb/internal/types"
 	"polardb/internal/wire"
 )
@@ -135,6 +136,11 @@ type Buffer struct {
 	flushed   types.LSN
 	failed    bool
 	flushCond *sync.Cond
+
+	// Metrics are attached by the owning engine (AttachMetrics); nil
+	// until then, so standalone buffers in tests stay dependency-free.
+	metMTRs    *stat.Counter
+	metRecords *stat.Counter
 }
 
 // NewBuffer creates a log buffer whose first record will get LSN start+1.
@@ -144,9 +150,21 @@ func NewBuffer(start types.LSN) *Buffer {
 	return b
 }
 
+// AttachMetrics registers the buffer's counters in r. Must be called
+// before the buffer sees concurrent traffic (the engine does so at
+// construction time).
+func (b *Buffer) AttachMetrics(r *stat.Registry) {
+	b.metMTRs = r.Counter("plog.append.mtrs")
+	b.metRecords = r.Counter("plog.append.records")
+}
+
 // Append assigns LSNs to the MTR's records and queues them for flushing.
 // It returns the LSN of the last record (the MTR's commit LSN).
 func (b *Buffer) Append(m *MTR) types.LSN {
+	if b.metMTRs != nil {
+		b.metMTRs.Inc()
+		b.metRecords.Add(uint64(len(m.recs)))
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for i := range m.recs {

@@ -10,6 +10,7 @@ import (
 	"polardb/internal/plog"
 	"polardb/internal/rdma"
 	"polardb/internal/retry"
+	"polardb/internal/stat"
 	"polardb/internal/types"
 	"polardb/internal/wire"
 )
@@ -22,9 +23,34 @@ type Client struct {
 	cfg     VolumeConfig
 	peers   []rdma.NodeID
 	timeout time.Duration
+	met     pfsMetrics
 
 	mu      sync.Mutex
 	leaders map[string]rdma.NodeID
+}
+
+// pfsMetrics count the volume operations a database node issues through
+// libpfs, with latency on the two paths the paper measures: page reads
+// (the bottom of the three-tier hierarchy) and redo appends (the commit
+// durability wait).
+type pfsMetrics struct {
+	getPage     *stat.Counter
+	getPageLat  *stat.Histogram
+	appendRedo  *stat.Counter
+	appendLat   *stat.Histogram
+	readRedo    *stat.Counter
+	shipRecords *stat.Counter // redo records distributed to page chunks
+}
+
+func newPFSMetrics(r *stat.Registry) pfsMetrics {
+	return pfsMetrics{
+		getPage:     r.Counter("pfs.get_page.ops"),
+		getPageLat:  r.Histogram("pfs.get_page.us"),
+		appendRedo:  r.Counter("pfs.append_redo.ops"),
+		appendLat:   r.Histogram("pfs.append_redo.us"),
+		readRedo:    r.Counter("pfs.read_redo.ops"),
+		shipRecords: r.Counter("pfs.ship.records"),
+	}
 }
 
 // NewClient creates a libpfs client for the deployed volume, issuing
@@ -36,6 +62,7 @@ func NewClient(ep *rdma.Endpoint, cfg VolumeConfig, peers []rdma.NodeID) *Client
 		cfg:     cfg,
 		peers:   peers,
 		timeout: 5 * time.Second,
+		met:     newPFSMetrics(ep.Metrics()),
 		leaders: make(map[string]rdma.NodeID),
 	}
 }
@@ -93,10 +120,13 @@ func (c *Client) call(group, op string, req []byte) ([]byte, error) {
 // replicated). The transaction whose MTRs these records belong to may
 // commit once this returns. Returns the chunk's new tail LSN.
 func (c *Client) AppendRedo(recs []plog.Record) (types.LSN, error) {
+	c.met.appendRedo.Inc()
+	start := time.Now()
 	resp, err := c.call(c.cfg.LogGroup(), "append", plog.MarshalRecords(recs))
 	if err != nil {
 		return 0, err
 	}
+	c.met.appendLat.Observe(time.Since(start))
 	rd := wire.NewReader(resp)
 	tail := types.LSN(rd.U64())
 	return tail, rd.Err()
@@ -104,6 +134,7 @@ func (c *Client) AppendRedo(recs []plog.Record) (types.LSN, error) {
 
 // ReadRedo returns up to max redo records with LSN > after (0 = no limit).
 func (c *Client) ReadRedo(after types.LSN, max int) ([]plog.Record, error) {
+	c.met.readRedo.Inc()
 	w := wire.NewWriter(16)
 	w.U64(uint64(after))
 	w.U32(uint32(max))
@@ -140,6 +171,7 @@ func (c *Client) TruncateRedo(upTo types.LSN) error {
 // returns once every touched partition has durably acknowledged.
 // Untouched partitions' coverage is advanced lazily by AdvanceCoverage.
 func (c *Client) ShipRecords(recs []plog.Record, coverage types.LSN) error {
+	c.met.shipRecords.Add(uint64(len(recs)))
 	byPart := make(map[int][]plog.Record)
 	for _, r := range recs {
 		p := c.Partition(r.Page)
@@ -178,6 +210,8 @@ func (c *Client) AddRecords(part int, recs []plog.Record, coverage types.LSN) er
 // GetPage fetches the page's contents as of atLSN (MaxLSN = latest known to
 // the chunk). exists is false if the chunk has never seen the page.
 func (c *Client) GetPage(id types.PageID, atLSN types.LSN) (data []byte, lsn types.LSN, exists bool, err error) {
+	c.met.getPage.Inc()
+	start := time.Now()
 	w := wire.NewWriter(16)
 	w.U32(uint32(id.Space))
 	w.U32(uint32(id.No))
@@ -186,6 +220,7 @@ func (c *Client) GetPage(id types.PageID, atLSN types.LSN) (data []byte, lsn typ
 	if err != nil {
 		return nil, 0, false, err
 	}
+	c.met.getPageLat.Observe(time.Since(start))
 	rd := wire.NewReader(resp)
 	exists = rd.Bool()
 	lsn = types.LSN(rd.U64())

@@ -9,6 +9,7 @@ import (
 	"polardb/internal/parallelraft"
 	"polardb/internal/plog"
 	"polardb/internal/rdma"
+	"polardb/internal/stat"
 	"polardb/internal/types"
 	"polardb/internal/wire"
 )
@@ -189,6 +190,9 @@ type pageChunk struct {
 	readLatency time.Duration
 	closeCh     chan struct{}
 	wg          sync.WaitGroup
+
+	metGets *stat.Counter // page get RPCs served by this replica
+	metAdds *stat.Counter // redo add batches ingested by this replica
 }
 
 func newPageChunk(ep *rdma.Endpoint, cfg VolumeConfig, peers []rdma.NodeID, part int) *pageChunk {
@@ -200,6 +204,8 @@ func newPageChunk(ep *rdma.Endpoint, cfg VolumeConfig, peers []rdma.NodeID, part
 		ep:          ep,
 		readLatency: cfg.ReadLatency,
 		closeCh:     make(chan struct{}),
+		metGets:     ep.Metrics().Counter("pfs.chunk.gets"),
+		metAdds:     ep.Metrics().Counter("pfs.chunk.add_batches"),
 	}
 	prefix := "pfs." + cfg.PageGroup(part) + "."
 	ep.RegisterHandler(prefix+"add", pc.handleAdd)
@@ -249,6 +255,7 @@ func (pc *pageChunk) materializer(interval time.Duration) {
 // via raft, insert into the redo hash, then acknowledge. After the ack the
 // RW node may evict the covered dirty pages anywhere in the hierarchy.
 func (pc *pageChunk) handleAdd(from rdma.NodeID, req []byte) ([]byte, error) {
+	pc.metAdds.Inc()
 	rd := wire.NewReader(req)
 	cov := rd.U64()
 	recsBuf := rd.Bytes32()
@@ -278,6 +285,7 @@ func (pc *pageChunk) handleAdd(from rdma.NodeID, req []byte) ([]byte, error) {
 // handleGet serves GetPage@LSN from the chunk leader. The read pays the
 // storage media latency on top of the network round trip.
 func (pc *pageChunk) handleGet(from rdma.NodeID, req []byte) ([]byte, error) {
+	pc.metGets.Inc()
 	if pc.replica.Role() != parallelraft.Leader {
 		return nil, ErrNotLeader
 	}

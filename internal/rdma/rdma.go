@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"polardb/internal/stat"
 )
 
 // NodeID identifies a node attached to the fabric.
@@ -38,8 +40,9 @@ var (
 // Fabric is the switched network connecting all nodes. It owns the latency
 // model and global traffic statistics.
 type Fabric struct {
-	cfg   Config
-	stats Stats
+	cfg     Config
+	stats   Stats
+	metrics *stat.NodeSet
 
 	mu    sync.RWMutex
 	nodes map[NodeID]*Endpoint
@@ -48,8 +51,13 @@ type Fabric struct {
 // NewFabric creates a fabric with the given configuration.
 func NewFabric(cfg Config) *Fabric {
 	cfg.applyDefaults()
-	return &Fabric{cfg: cfg, nodes: make(map[NodeID]*Endpoint)}
+	return &Fabric{cfg: cfg, metrics: stat.NewNodeSet(), nodes: make(map[NodeID]*Endpoint)}
 }
+
+// Metrics returns the fabric's per-node metric registries. Endpoints
+// record their verb traffic here under their node id, and components
+// running on a node share its registry via Endpoint.Metrics.
+func (f *Fabric) Metrics() *stat.NodeSet { return f.metrics }
 
 // attachLocked registers and returns a fresh endpoint for id. The caller
 // holds f.mu and has checked id is not already attached.
@@ -57,6 +65,7 @@ func (f *Fabric) attachLocked(id NodeID) *Endpoint {
 	ep := &Endpoint{
 		id:       id,
 		fabric:   f,
+		verbs:    newVerbMetrics(f.metrics.Node(string(id))),
 		regions:  make(map[uint32]*Region),
 		handlers: make(map[string]Handler),
 	}
@@ -130,6 +139,7 @@ func (f *Fabric) lookup(id NodeID) (*Endpoint, error) {
 type Endpoint struct {
 	id     NodeID
 	fabric *Fabric
+	verbs  *verbMetrics
 
 	mu       sync.RWMutex
 	nextReg  uint32
@@ -143,6 +153,13 @@ func (e *Endpoint) ID() NodeID { return e.id }
 
 // Fabric returns the fabric the endpoint is attached to.
 func (e *Endpoint) Fabric() *Fabric { return e.fabric }
+
+// Metrics returns this node's metric registry. Components running on
+// the node (engine, librmem, libpfs, raft replicas) register their
+// metrics here so everything one node does lands in one registry.
+func (e *Endpoint) Metrics() *stat.Registry {
+	return e.fabric.metrics.Node(string(e.id))
+}
 
 // Kill simulates a node crash: all regions and handlers become unreachable
 // until Revive is called. Local (in-node) users of the endpoint's regions

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Addr names a location in a registered remote memory region.
@@ -226,11 +227,12 @@ func (e *Endpoint) Read(a Addr, dst []byte) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	e.fabric.delay(e.fabric.cfg.OneSidedRead, len(dst))
 	if err := r.ReadLocal(a.Off, dst); err != nil {
 		return err
 	}
-	e.fabric.stats.record(opRead, len(dst))
+	e.record(opRead, len(dst), start)
 	return nil
 }
 
@@ -240,11 +242,12 @@ func (e *Endpoint) Write(a Addr, src []byte) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	e.fabric.delay(e.fabric.cfg.OneSidedWrite, len(src))
 	if err := r.WriteLocal(a.Off, src); err != nil {
 		return err
 	}
-	e.fabric.stats.record(opWrite, len(src))
+	e.record(opWrite, len(src), start)
 	return nil
 }
 
@@ -256,12 +259,13 @@ func (e *Endpoint) CAS64(a Addr, old, new uint64) (uint64, bool, error) {
 	if err != nil {
 		return 0, false, err
 	}
+	start := time.Now()
 	e.fabric.delay(e.fabric.cfg.Atomic, 8)
 	prev, ok, err := r.CAS64Local(a.Off, old, new)
 	if err != nil {
 		return 0, false, err
 	}
-	e.fabric.stats.record(opAtomic, 8)
+	e.record(opAtomic, 8, start)
 	return prev, ok, nil
 }
 
@@ -272,6 +276,7 @@ func (e *Endpoint) FetchAdd64(a Addr, delta uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	start := time.Now()
 	e.fabric.delay(e.fabric.cfg.Atomic, 8)
 	r.mu.Lock()
 	if a.Off%8 != 0 {
@@ -285,7 +290,7 @@ func (e *Endpoint) FetchAdd64(a Addr, delta uint64) (uint64, error) {
 	prev := binary.LittleEndian.Uint64(r.buf[a.Off:])
 	binary.LittleEndian.PutUint64(r.buf[a.Off:], prev+delta)
 	r.mu.Unlock()
-	e.fabric.stats.record(opAtomic, 8)
+	e.record(opAtomic, 8, start)
 	return prev, nil
 }
 
@@ -295,11 +300,12 @@ func (e *Endpoint) Load64(a Addr) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	start := time.Now()
 	e.fabric.delay(e.fabric.cfg.OneSidedRead, 8)
 	v, err := r.Load64Local(a.Off)
 	if err != nil {
 		return 0, err
 	}
-	e.fabric.stats.record(opRead, 8)
+	e.record(opRead, 8, start)
 	return v, nil
 }

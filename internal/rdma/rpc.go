@@ -41,6 +41,7 @@ func (e *Endpoint) Call(target NodeID, method string, req []byte) ([]byte, error
 	if !ok {
 		return nil, fmt.Errorf("%w: %s on %s", ErrNoSuchHandler, method, target)
 	}
+	start := time.Now()
 	e.fabric.delay(e.fabric.cfg.RPC/2, len(req))
 	resp, err := h(e.id, req)
 	if err != nil {
@@ -52,7 +53,7 @@ func (e *Endpoint) Call(target NodeID, method string, req []byte) ([]byte, error
 		return nil, fmt.Errorf("%w: %s", ErrUnreachable, target)
 	}
 	e.fabric.delay(e.fabric.cfg.RPC/2, len(resp))
-	e.fabric.stats.record(opRPC, len(req)+len(resp))
+	e.record(opRPC, len(req)+len(resp), start)
 	return resp, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"polardb/internal/rdma"
+	"polardb/internal/stat"
 	"polardb/internal/types"
 	"polardb/internal/wire"
 )
@@ -25,6 +26,7 @@ type RegisterResult struct {
 type Pool struct {
 	ep  *rdma.Endpoint
 	cfg Config
+	met poolMetrics
 
 	mu       sync.Mutex
 	home     rdma.NodeID
@@ -35,11 +37,37 @@ type Pool struct {
 	slabFailFn   func([]types.PageID)
 }
 
+// poolMetrics are the librmem client-side counters, one per §3.1 API
+// call plus the two home-initiated callbacks.
+type poolMetrics struct {
+	register   *stat.Counter // page_register round trips
+	unregister *stat.Counter // page_unregister round trips
+	pageRead   *stat.Counter // one-sided page_read verbs
+	pageWrite  *stat.Counter // one-sided page_write verbs
+	pibCheck   *stat.Counter // one-sided PIB staleness probes
+	invSent    *stat.Counter // page_invalidate calls issued (RW)
+	invRecv    *stat.Counter // invalidation callbacks received
+	slabFail   *stat.Counter // pages reported lost to slab crashes
+}
+
+func newPoolMetrics(r *stat.Registry) poolMetrics {
+	return poolMetrics{
+		register:   r.Counter("rmem.register.ops"),
+		unregister: r.Counter("rmem.unregister.ops"),
+		pageRead:   r.Counter("rmem.page_read.ops"),
+		pageWrite:  r.Counter("rmem.page_write.ops"),
+		pibCheck:   r.Counter("rmem.pib_check.ops"),
+		invSent:    r.Counter("rmem.invalidate.sent"),
+		invRecv:    r.Counter("rmem.invalidate.recv"),
+		slabFail:   r.Counter("rmem.slabfail.pages"),
+	}
+}
+
 // NewPool connects a database node to the pool served by home. The first
 // round trip learns the node's owner index (used in PL latch words).
 func NewPool(ep *rdma.Endpoint, cfg Config, home rdma.NodeID) (*Pool, error) {
 	cfg.applyDefaults()
-	p := &Pool{ep: ep, cfg: cfg, home: home}
+	p := &Pool{ep: ep, cfg: cfg, met: newPoolMetrics(ep.Metrics()), home: home}
 	resp, err := ep.Call(home, cfg.method("hello"), nil)
 	if err != nil {
 		return nil, fmt.Errorf("rmem: connecting to home %s: %w", home, err)
@@ -108,6 +136,7 @@ func (p *Pool) RegisterIfCached(page types.PageID) (RegisterResult, error) {
 }
 
 func (p *Pool) register(page types.PageID, noAlloc bool) (RegisterResult, error) {
+	p.met.register.Inc()
 	w := wire.NewWriter(12)
 	w.U32(uint32(page.Space))
 	w.U32(uint32(page.No))
@@ -143,18 +172,21 @@ func (p *Pool) register(page types.PageID, noAlloc bool) (RegisterResult, error)
 
 // Unregister implements page_unregister: drop this node's reference.
 func (p *Pool) Unregister(page types.PageID) error {
+	p.met.unregister.Inc()
 	_, err := p.ep.Call(p.Home(), p.cfg.method("unreg"), p.pageReq(page))
 	return err
 }
 
 // ReadPage implements page_read: one-sided RDMA read of the page into buf.
 func (p *Pool) ReadPage(data rdma.Addr, buf []byte) error {
+	p.met.pageRead.Inc()
 	return p.ep.Read(data, buf)
 }
 
 // WritePage implements page_write: one-sided RDMA write of the page, then
 // clear the PIB bit — the remote copy is now the latest version.
 func (p *Pool) WritePage(data rdma.Addr, buf []byte, pib rdma.Addr) error {
+	p.met.pageWrite.Inc()
 	if err := p.ep.Write(data, buf); err != nil {
 		return err
 	}
@@ -165,6 +197,7 @@ func (p *Pool) WritePage(data rdma.Addr, buf []byte, pib rdma.Addr) error {
 // PIBStale reads the page's home PIB word with a one-sided read: true
 // means the remote copy is outdated (the RW holds a newer local version).
 func (p *Pool) PIBStale(pib rdma.Addr) (bool, error) {
+	p.met.pibCheck.Inc()
 	v, err := p.ep.Load64(pib)
 	if err != nil {
 		return false, err
@@ -175,6 +208,7 @@ func (p *Pool) PIBStale(pib rdma.Addr) (bool, error) {
 // Invalidate implements page_invalidate (RW only): synchronously mark all
 // copies of the page stale, on the home and on every RO local cache.
 func (p *Pool) Invalidate(page types.PageID) error {
+	p.met.invSent.Inc()
 	_, err := p.ep.Call(p.Home(), p.cfg.method("inv"), p.pageReq(page))
 	return err
 }
@@ -194,6 +228,7 @@ func (p *Pool) handleInvalidateCB(from rdma.NodeID, req []byte) ([]byte, error) 
 	if err := rd.Err(); err != nil {
 		return nil, err
 	}
+	p.met.invRecv.Inc()
 	if p.invalidateFn != nil {
 		p.invalidateFn(page)
 	}
@@ -210,6 +245,7 @@ func (p *Pool) handleSlabFailCB(from rdma.NodeID, req []byte) ([]byte, error) {
 	if err := rd.Err(); err != nil {
 		return nil, err
 	}
+	p.met.slabFail.Add(uint64(len(pages)))
 	if p.slabFailFn != nil {
 		p.slabFailFn(pages)
 	}

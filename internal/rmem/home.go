@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"polardb/internal/rdma"
+	"polardb/internal/stat"
 	"polardb/internal/types"
 	"polardb/internal/wire"
 )
@@ -65,8 +66,31 @@ type Home struct {
 	slave   rdma.NodeID
 
 	stats   Stats
+	met     homeMetrics
 	closeCh chan struct{}
 	wg      sync.WaitGroup
+}
+
+// homeMetrics are the home node's pool-side counters (one per paper
+// mechanism: §3.1 registration/coherency, eviction pressure).
+type homeMetrics struct {
+	registers     *stat.Counter // page_register requests served
+	hits          *stat.Counter // registers that found the page pooled (remote hits)
+	misses        *stat.Counter // registers that found nothing pooled
+	evictions     *stat.Counter // pages evicted from the pool
+	invalidations *stat.Counter // page_invalidate requests served
+	invFanout     *stat.Counter // per-holder invalidation callbacks sent
+}
+
+func newHomeMetrics(r *stat.Registry) homeMetrics {
+	return homeMetrics{
+		registers:     r.Counter("rmem.home.registers"),
+		hits:          r.Counter("rmem.home.hits"),
+		misses:        r.Counter("rmem.home.misses"),
+		evictions:     r.Counter("rmem.home.evictions"),
+		invalidations: r.Counter("rmem.home.invalidations"),
+		invFanout:     r.Counter("rmem.home.inv_fanout"),
+	}
 }
 
 // NewHome starts a home node on ep. slave, if non-empty, names a passive
@@ -83,6 +107,7 @@ func NewHome(ep *rdma.Endpoint, cfg Config, slave rdma.NodeID) *Home {
 		nodeIdx: make(map[rdma.NodeID]uint16),
 		kicked:  make(map[rdma.NodeID]bool),
 		slave:   slave,
+		met:     newHomeMetrics(ep.Metrics()),
 		closeCh: make(chan struct{}),
 	}
 	for i := cfg.MetaSlots - 1; i >= 0; i-- {
@@ -521,6 +546,7 @@ func (h *Home) evictLocked(e *patEntry) {
 	h.meta.MustStore64Local(e.slotOff+8, pibStale)
 	h.metaFree = append(h.metaFree, e.slotOff)
 	h.stats.Evictions++
+	h.met.evictions.Inc()
 	h.replicate(replEvict(e.page))
 }
 
@@ -596,6 +622,7 @@ func (h *Home) handleRegister(from rdma.NodeID, req []byte) ([]byte, error) {
 	}
 	h.mu.Lock()
 	h.stats.Registers++
+	h.met.registers.Inc()
 	delete(h.kicked, from) // a registering node is alive by definition
 	idx := h.nodeIndex(from)
 	k := page.Key()
@@ -603,6 +630,7 @@ func (h *Home) handleRegister(from rdma.NodeID, req []byte) ([]byte, error) {
 	if !exists && noAlloc {
 		// Cache-pollution guard (§3.1.3): a scan checks for an existing
 		// remote copy but never allocates one.
+		h.met.misses.Inc()
 		h.mu.Unlock()
 		resp := wire.NewWriter(8)
 		resp.Bool(false)
@@ -616,12 +644,14 @@ func (h *Home) handleRegister(from rdma.NodeID, req []byte) ([]byte, error) {
 	}
 	if exists {
 		h.stats.Hits++
+		h.met.hits.Inc()
 		if e.lruElem != nil {
 			h.lru.Remove(e.lruElem)
 			e.lruElem = nil
 		}
 		e.refs[from] = true
 	} else {
+		h.met.misses.Inc()
 		if len(h.metaFree) == 0 {
 			h.mu.Unlock()
 			return nil, ErrMetaFull
@@ -700,6 +730,7 @@ func (h *Home) handleInvalidate(from rdma.NodeID, req []byte) ([]byte, error) {
 		return nil, nil // not cached remotely: nothing to invalidate
 	}
 	h.stats.Invalidations++
+	h.met.invalidations.Inc()
 	h.meta.MustStore64Local(e.slotOff+8, pibStale)
 	targets := make([]rdma.NodeID, 0, len(e.refs))
 	for n := range e.refs {
@@ -709,6 +740,7 @@ func (h *Home) handleInvalidate(from rdma.NodeID, req []byte) ([]byte, error) {
 	}
 	h.mu.Unlock()
 	h.replicate(replInvalidate(page))
+	h.met.invFanout.Add(uint64(len(targets)))
 
 	msg := wire.NewWriter(8)
 	msg.U32(uint32(page.Space))

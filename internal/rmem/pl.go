@@ -8,6 +8,7 @@ import (
 
 	"polardb/internal/rdma"
 	"polardb/internal/retry"
+	"polardb/internal/stat"
 	"polardb/internal/types"
 	"polardb/internal/wire"
 )
@@ -75,6 +76,24 @@ type PLManager struct {
 
 	// FastPathAcquires / SlowPathAcquires instrument Figure 14.
 	stats PLStats
+	met   plMetrics
+}
+
+// plMetrics mirror PLStats into the node registry (§3.2 latch paths).
+type plMetrics struct {
+	fast   *stat.Counter // latches taken by one RDMA CAS
+	slow   *stat.Counter // latches negotiated through the home
+	sticky *stat.Counter // X latches re-entered while held sticky
+	revoke *stat.Counter // sticky latches surrendered to another node
+}
+
+func newPLMetrics(r *stat.Registry) plMetrics {
+	return plMetrics{
+		fast:   r.Counter("rmem.pl.fast"),
+		slow:   r.Counter("rmem.pl.slow"),
+		sticky: r.Counter("rmem.pl.sticky"),
+		revoke: r.Counter("rmem.pl.revoke"),
+	}
 }
 
 // PLStats counts latch-path outcomes.
@@ -90,7 +109,7 @@ type PLStats struct {
 // other nodes can find the owner). It registers the revoke callback.
 func NewPLManager(ep *rdma.Endpoint, cfg Config, home rdma.NodeID, ownerIdx uint16) *PLManager {
 	cfg.applyDefaults()
-	m := &PLManager{ep: ep, cfg: cfg, home: home, ownerIdx: ownerIdx, held: make(map[uint64]*heldPL)}
+	m := &PLManager{ep: ep, cfg: cfg, home: home, ownerIdx: ownerIdx, held: make(map[uint64]*heldPL), met: newPLMetrics(ep.Metrics())}
 	ep.RegisterHandler(cfg.method("cb.revoke"), m.handleRevoke)
 	return m
 }
@@ -121,6 +140,7 @@ func (m *PLManager) LockX(page types.PageID, plAddr rdma.Addr) error {
 		h.pins++
 		h.addr = plAddr
 		m.stats.StickyHit++
+		m.met.sticky.Inc()
 		m.mu.Unlock()
 		return nil
 	}
@@ -257,8 +277,10 @@ func (m *PLManager) record(k uint64, addr rdma.Addr, mode PLMode, fast bool) {
 	m.held[k] = h
 	if fast {
 		m.stats.FastPath++
+		m.met.fast.Inc()
 	} else {
 		m.stats.SlowPath++
+		m.met.slow.Inc()
 	}
 }
 
@@ -292,6 +314,7 @@ func (m *PLManager) handleRevoke(from rdma.NodeID, req []byte) ([]byte, error) {
 		return nil, nil // already released
 	}
 	m.stats.Revokes++
+	m.met.revoke.Inc()
 	h.revokeReq = true
 	for h.pins > 0 {
 		h.cond.Wait()

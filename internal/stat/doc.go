@@ -1,0 +1,23 @@
+// Package stat is the repository's low-overhead observability layer:
+// atomic counters, fixed-bucket latency histograms, and named registries
+// with a snapshot/delta API.
+//
+// Every layer of the disaggregated stack registers its metrics here —
+// rdma fabric verbs, the remote memory pool (hits, misses, evictions,
+// invalidations), the engine (MTR commits, flushes, CTS reads, SMO
+// latches) and PolarFS/plog (page reads, ParallelRaft appends) — so a
+// figure's end-to-end number (QPS, latency) can always be decomposed
+// into the per-layer traffic that produced it. DESIGN.md's
+// "Observability" section lists every metric name; a doc-drift test
+// keeps that table and the registered names in sync.
+//
+// Hot-path cost is one atomic add per counter event and two atomic adds
+// plus a bucket add per histogram observation. Components resolve
+// *Counter / *Histogram handles once at construction and never touch
+// the registry's map on the hot path.
+//
+// Registries are per node: the rdma fabric owns a NodeSet, and every
+// endpoint (and each component running on that node) records into the
+// registry keyed by its node id. `polarctl stats` renders the live
+// table; `polarbench` snapshots deltas per figure into BENCH_*.json.
+package stat

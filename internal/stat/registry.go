@@ -1,0 +1,261 @@
+package stat
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry is one node's named metrics. Counter and Histogram get or
+// create by name; components call them once at construction and keep
+// the returned handles, so the registry lock never sits on a hot path.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it at zero if new.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it empty if new.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Names returns every registered metric name (counters and histograms),
+// sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.counters)+len(r.hists))
+	for n := range r.counters {
+		out = append(out, n)
+	}
+	for n := range r.hists {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot copies every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Load()
+	}
+	for n, h := range r.hists {
+		s.Histograms[n] = h.snapshot()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a registry. JSON encoding is
+// deterministic (Go marshals map keys sorted), which BENCH_*.json and
+// the EXPERIMENTS.md report generator rely on.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Sub returns the delta s - prev, metric-wise. Metrics absent from prev
+// count from zero; metrics absent from s are dropped.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Histograms: make(map[string]HistSnapshot, len(s.Histograms)),
+	}
+	for n, v := range s.Counters {
+		d.Counters[n] = v - prev.Counters[n]
+	}
+	for n, h := range s.Histograms {
+		d.Histograms[n] = h.Sub(prev.Histograms[n])
+	}
+	return d
+}
+
+// Counter returns a counter value (0 if absent).
+func (s Snapshot) Counter(name string) uint64 { return s.Counters[name] }
+
+// NodeSet is a set of per-node registries. The rdma fabric owns one;
+// every component records into the registry of the node it runs on.
+type NodeSet struct {
+	mu    sync.RWMutex
+	nodes map[string]*Registry
+}
+
+// NewNodeSet returns an empty node set.
+func NewNodeSet() *NodeSet {
+	return &NodeSet{nodes: make(map[string]*Registry)}
+}
+
+// Node returns the named node's registry, creating it if new.
+func (ns *NodeSet) Node(id string) *Registry {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	r, ok := ns.nodes[id]
+	if !ok {
+		r = NewRegistry()
+		ns.nodes[id] = r
+	}
+	return r
+}
+
+// Snapshot copies every node's registry.
+func (ns *NodeSet) Snapshot() map[string]Snapshot {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	out := make(map[string]Snapshot, len(ns.nodes))
+	for id, r := range ns.nodes {
+		out[id] = r.Snapshot()
+	}
+	return out
+}
+
+// Names returns the union of metric names across all nodes, sorted.
+func (ns *NodeSet) Names() []string {
+	ns.mu.RLock()
+	regs := make([]*Registry, 0, len(ns.nodes))
+	for _, r := range ns.nodes {
+		regs = append(regs, r)
+	}
+	ns.mu.RUnlock()
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range regs {
+		for _, n := range r.Names() {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total merges a per-node snapshot map into one cluster-wide snapshot
+// (counters summed, histograms merged bucket-wise).
+func Total(nodes map[string]Snapshot) Snapshot {
+	t := Snapshot{Counters: map[string]uint64{}, Histograms: map[string]HistSnapshot{}}
+	ids := make([]string, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		s := nodes[id]
+		for n, v := range s.Counters {
+			t.Counters[n] += v
+		}
+		for n, h := range s.Histograms {
+			cur := t.Histograms[n]
+			cur.Count += h.Count
+			cur.SumNS += h.SumNS
+			if len(h.Buckets) > len(cur.Buckets) {
+				cur.Buckets = append(cur.Buckets, make([]uint64, len(h.Buckets)-len(cur.Buckets))...)
+			}
+			for i, b := range h.Buckets {
+				cur.Buckets[i] += b
+			}
+			t.Histograms[n] = cur
+		}
+	}
+	return t
+}
+
+// WriteTable renders per-node snapshots as aligned text: one row per
+// metric, one column per node, counters as integers and histograms as
+// "count/mean/p99". Rows and columns are sorted, so output is
+// deterministic for a given snapshot.
+func WriteTable(w io.Writer, nodes map[string]Snapshot) {
+	ids := make([]string, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	rows := map[string]bool{}
+	for _, s := range nodes {
+		for n := range s.Counters {
+			rows[n] = true
+		}
+		for n := range s.Histograms {
+			rows[n] = true
+		}
+	}
+	names := make([]string, 0, len(rows))
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "%-28s", "metric")
+	for _, id := range ids {
+		fmt.Fprintf(w, "%22s", id)
+	}
+	fmt.Fprintln(w)
+	for _, name := range names {
+		fmt.Fprintf(w, "%-28s", name)
+		for _, id := range ids {
+			s := nodes[id]
+			if v, ok := s.Counters[name]; ok {
+				fmt.Fprintf(w, "%22d", v)
+			} else if h, ok := s.Histograms[name]; ok && h.Count > 0 {
+				fmt.Fprintf(w, "%22s", fmt.Sprintf("%d/%s/%s",
+					h.Count, shortDur(h.Mean()), shortDur(h.Quantile(0.99))))
+			} else if ok {
+				fmt.Fprintf(w, "%22s", "0")
+			} else {
+				fmt.Fprintf(w, "%22s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// shortDur formats a duration compactly for tables (µs below 10ms, ms
+// above).
+func shortDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < 10*time.Millisecond:
+		return fmt.Sprintf("%dus", d.Microseconds())
+	case d < 10*time.Second:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%ds", int(d.Seconds()))
+	}
+}

@@ -1,0 +1,159 @@
+package stat
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := &Histogram{}
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0}, // sub-µs truncates to bucket 0
+		{time.Microsecond, 1},      // [1,2) µs
+		{3 * time.Microsecond, 2},  // [2,4) µs
+		{4 * time.Microsecond, 3},  // [4,8) µs
+		{1000 * time.Microsecond, 10},
+		{time.Hour, NumBuckets - 1}, // clamped to the overflow bucket
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+		h.Observe(c.d)
+	}
+	s := h.snapshot()
+	if s.Count != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(cases))
+	}
+	var inBuckets uint64
+	for _, b := range s.Buckets {
+		inBuckets += b
+	}
+	if inBuckets != s.Count {
+		t.Fatalf("bucket sum %d != count %d", inBuckets, s.Count)
+	}
+	// Bucket bounds are monotone powers of two.
+	if BucketBound(1) != 2*time.Microsecond || BucketBound(3) != 8*time.Microsecond {
+		t.Fatalf("unexpected bucket bounds: %v %v", BucketBound(1), BucketBound(3))
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{}
+	// 90 fast observations (~2µs bucket), 10 slow (~1ms bucket).
+	for i := 0; i < 90; i++ {
+		h.Observe(3 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1500 * time.Microsecond)
+	}
+	s := h.snapshot()
+	if q := s.Quantile(0.5); q > 4*time.Microsecond {
+		t.Errorf("p50 = %v, want <= 4µs", q)
+	}
+	// p99 must land in the slow bucket: 1500µs is in [1024,2048)µs.
+	if q := s.Quantile(0.99); q < time.Millisecond {
+		t.Errorf("p99 = %v, want >= 1ms", q)
+	}
+	if m := s.Mean(); m < 100*time.Microsecond || m > 300*time.Microsecond {
+		t.Errorf("mean = %v, want ~152µs", m)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x.ops")
+	h := r.Histogram("x.lat")
+	c.Add(5)
+	h.Observe(2 * time.Microsecond)
+	before := r.Snapshot()
+	c.Add(7)
+	h.Observe(2 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	d := r.Snapshot().Sub(before)
+	if d.Counter("x.ops") != 7 {
+		t.Errorf("counter delta = %d, want 7", d.Counter("x.ops"))
+	}
+	hd := d.Histograms["x.lat"]
+	if hd.Count != 2 {
+		t.Errorf("hist delta count = %d, want 2", hd.Count)
+	}
+	if hd.SumNS != uint64((2*time.Microsecond + 5*time.Millisecond).Nanoseconds()) {
+		t.Errorf("hist delta sum = %d", hd.SumNS)
+	}
+	var n uint64
+	for _, b := range hd.Buckets {
+		n += b
+	}
+	if n != 2 {
+		t.Errorf("hist delta bucket sum = %d, want 2", n)
+	}
+	// A metric created after the first snapshot deltas from zero.
+	r.Counter("y.ops").Add(3)
+	d2 := r.Snapshot().Sub(before)
+	if d2.Counter("y.ops") != 3 {
+		t.Errorf("new-metric delta = %d, want 3", d2.Counter("y.ops"))
+	}
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Get-or-create races with other workers on purpose.
+			c := r.Counter("shared.ops")
+			h := r.Histogram("shared.lat")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(time.Duration(i%7) * time.Microsecond)
+				if i%1000 == 0 {
+					_ = r.Snapshot() // snapshots race increments safely
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Counter("shared.ops"); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := s.Histograms["shared.lat"].Count; got != workers*per {
+		t.Fatalf("hist count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestNodeSetTotalAndTable(t *testing.T) {
+	ns := NewNodeSet()
+	ns.Node("rw0").Counter("a.ops").Add(2)
+	ns.Node("ro0").Counter("a.ops").Add(3)
+	ns.Node("ro0").Histogram("a.lat").Observe(time.Millisecond)
+	snap := ns.Snapshot()
+	total := Total(snap)
+	if total.Counter("a.ops") != 5 {
+		t.Fatalf("total = %d, want 5", total.Counter("a.ops"))
+	}
+	if total.Histograms["a.lat"].Count != 1 {
+		t.Fatalf("total hist count = %d, want 1", total.Histograms["a.lat"].Count)
+	}
+	var b strings.Builder
+	WriteTable(&b, snap)
+	out := b.String()
+	for _, want := range []string{"metric", "rw0", "ro0", "a.ops", "a.lat"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if names := ns.Names(); len(names) != 2 || names[0] != "a.lat" || names[1] != "a.ops" {
+		t.Errorf("names = %v", names)
+	}
+}

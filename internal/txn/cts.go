@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"polardb/internal/rdma"
+	"polardb/internal/stat"
 	"polardb/internal/types"
 	"polardb/internal/wire"
 )
@@ -156,6 +157,16 @@ type Client struct {
 	rw     rdma.NodeID
 	region uint32
 	slots  int
+	met    ctsMetrics
+}
+
+// ctsMetrics count the one-sided CTS accesses an RO issues (§3.3: all
+// timestamp traffic bypasses the RW CPU).
+type ctsMetrics struct {
+	readTS  *stat.Counter // cts_read fetches of the counter word
+	nextTS  *stat.Counter // remote FETCH_ADD timestamp allocations
+	readLSN *stat.Counter // SMO-clock (published LSN) reads
+	lookup  *stat.Counter // CTS log slot reads (commit-status checks)
 }
 
 // NewClient builds a CTS client addressing the RW node's CTS region.
@@ -163,7 +174,13 @@ func NewClient(ep *rdma.Endpoint, rw rdma.NodeID, region uint32, slots int) *Cli
 	if slots == 0 {
 		slots = DefaultCTSSlots
 	}
-	return &Client{ep: ep, rw: rw, region: region, slots: slots}
+	r := ep.Metrics()
+	return &Client{ep: ep, rw: rw, region: region, slots: slots, met: ctsMetrics{
+		readTS:  r.Counter("txn.cts.read_ts.ops"),
+		nextTS:  r.Counter("txn.cts.next_ts.ops"),
+		readLSN: r.Counter("txn.cts.read_lsn.ops"),
+		lookup:  r.Counter("txn.cts.lookup.ops"),
+	}}
 }
 
 // SetRW repoints the client after an RW failover.
@@ -179,6 +196,7 @@ func (c *Client) addr(off uint64) rdma.Addr {
 // ReadTS reads the current timestamp (a read-only transaction's cts_read)
 // with a single one-sided read.
 func (c *Client) ReadTS() (types.Timestamp, error) {
+	c.met.readTS.Inc()
 	v, err := c.ep.Load64(c.addr(ctsCounterOff))
 	return types.Timestamp(v), err
 }
@@ -186,12 +204,14 @@ func (c *Client) ReadTS() (types.Timestamp, error) {
 // NextTS allocates a timestamp remotely via RDMA fetch-and-add (used when
 // an RO coordinates a cross-node operation needing a unique timestamp).
 func (c *Client) NextTS() (types.Timestamp, error) {
+	c.met.nextTS.Inc()
 	v, err := c.ep.FetchAdd64(c.addr(ctsCounterOff), 1)
 	return types.Timestamp(v + 1), err
 }
 
 // ReadLSN reads the published redo LSN (SMO clock) one-sided.
 func (c *Client) ReadLSN() (types.LSN, error) {
+	c.met.readLSN.Inc()
 	v, err := c.ep.Load64(c.addr(ctsLSNOff))
 	return types.LSN(v), err
 }
@@ -199,6 +219,7 @@ func (c *Client) ReadLSN() (types.LSN, error) {
 // Lookup resolves a transaction's commit status by reading its CTS log
 // slot with one one-sided RDMA read — no RW CPU involved.
 func (c *Client) Lookup(trx types.TrxID) (cts types.Timestamp, known bool, err error) {
+	c.met.lookup.Inc()
 	var buf [16]byte
 	off := uint64(ctsLogBase) + (uint64(trx)%uint64(c.slots))*16
 	if err := c.ep.Read(c.addr(off), buf[:]); err != nil {

@@ -28,6 +28,7 @@ import (
 	"polardb/internal/btree"
 	"polardb/internal/cluster"
 	"polardb/internal/rdma"
+	"polardb/internal/stat"
 )
 
 // Session is a client connection through the proxy tier. Autocommit
@@ -197,6 +198,11 @@ type Stats struct {
 	RemoteReads     uint64
 	StorageReads    uint64
 }
+
+// Metrics returns the deployment's per-node metric registries: every
+// fabric verb, remote-memory, storage and engine event each node
+// recorded (see internal/stat and DESIGN.md "Observability").
+func (db *DB) Metrics() *stat.NodeSet { return db.c.Fabric.Metrics() }
 
 // Stats returns a snapshot of deployment counters.
 func (db *DB) Stats() Stats {
