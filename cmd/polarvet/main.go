@@ -1,13 +1,18 @@
 // Command polarvet runs the repository's architectural static analyzers
-// (internal/lint) over the module: nosleep, layering, lockheld, errdrop.
+// (internal/lint) over the module: nosleep, layering, lockheld, errdrop,
+// pairing, regionescape, verbdeadline.
 //
 // Usage:
 //
 //	go run ./cmd/polarvet ./...
 //	go run ./cmd/polarvet ./internal/engine ./internal/cluster/...
+//	go run ./cmd/polarvet -json ./...
+//	go run ./cmd/polarvet -github ./...
 //
-// Exit status: 0 clean, 1 findings, 2 load/usage failure. Suppress an
-// individual finding with an adjacent
+// Exit status: 0 clean, 1 findings, 2 load/usage failure. -json prints
+// findings as a JSON array (machine-readable, stable order); -github
+// prints GitHub Actions workflow annotations so findings appear inline on
+// pull-request diffs. Suppress an individual finding with an adjacent
 //
 //	//polarvet:allow <analyzer> <reason>
 //
@@ -16,17 +21,31 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"polardb/internal/lint"
 )
 
+// jsonFinding is the machine-readable shape of one finding. File is
+// module-root-relative when the finding is inside the module.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	root := flag.String("C", ".", "module root (directory containing go.mod)")
 	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+	asJSON := flag.Bool("json", false, "print findings as a JSON array")
+	asGitHub := flag.Bool("github", false, "print findings as GitHub Actions annotations")
 	flag.Parse()
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -62,11 +81,63 @@ func main() {
 		fmt.Fprintln(os.Stderr, "polarvet:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+
+	absRoot, err := filepath.Abs(*root)
+	if err != nil {
+		absRoot = *root
+	}
+	switch {
+	case *asJSON:
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     relToRoot(absRoot, f.Pos.Filename),
+				Line:     f.Pos.Line,
+				Column:   f.Pos.Column,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "polarvet:", err)
+			os.Exit(2)
+		}
+	case *asGitHub:
+		for _, f := range findings {
+			// https://docs.github.com/actions/reference/workflow-commands:
+			// newlines and a few metacharacters must be percent-escaped.
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=polarvet %s::%s\n",
+				relToRoot(absRoot, f.Pos.Filename), f.Pos.Line, f.Pos.Column,
+				f.Analyzer, githubEscape(f.Message))
+		}
+	default:
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "polarvet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// relToRoot rewrites filename relative to the module root so annotations
+// and JSON match repository paths regardless of where polarvet ran.
+func relToRoot(root, filename string) string {
+	rel, err := filepath.Rel(root, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filename
+	}
+	return filepath.ToSlash(rel)
+}
+
+// githubEscape encodes the characters the workflow-command parser treats
+// specially in annotation messages.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }

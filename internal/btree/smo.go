@@ -279,6 +279,12 @@ func (t *Tree) removeEmptyLeaf(m Mtr, retained *latched, idx int, stamp uint64) 
 	parent.setSMOStamp(stamp)
 	leaf.setSMOStamp(stamp)
 	if err := t.freePage(m, leaf); err != nil {
+		if prev != nil {
+			t.releaseX(m, prev)
+		}
+		if next != nil {
+			t.releaseX(m, next)
+		}
 		return err
 	}
 	parent.flush(m)

@@ -425,7 +425,7 @@ func (e *Engine) loadFrame(id types.PageID) (*cache.Frame, error) {
 				if err := e.readRemoteFresh(f); err == nil {
 					fromRemote = true
 				} else if !errors.Is(err, ErrStalePage) {
-					_ = e.pool.Unregister(id)
+					_ = e.pool.Unregister(id) //polarvet:allow errdrop unwinding a failed fill; the fetch error already propagates and a leaked ref is reclaimed by DropNodeRefs
 					return nil, err
 				}
 			}
@@ -444,7 +444,7 @@ func (e *Engine) loadFrame(id types.PageID) (*cache.Frame, error) {
 		data, lsn, exists, err := e.pfs.GetPage(id, polarfs.MaxLSN)
 		if err != nil {
 			if f.Remote.Registered {
-				_ = e.pool.Unregister(id)
+				_ = e.pool.Unregister(id) //polarvet:allow errdrop unwinding a failed fill; the fetch error already propagates and a leaked ref is reclaimed by DropNodeRefs
 			}
 			return nil, err
 		}
@@ -464,7 +464,7 @@ func (e *Engine) loadFrame(id types.PageID) (*cache.Frame, error) {
 			// RW just set.
 			if allocated || !e.cfg.ReadOnly {
 				if err := e.pool.WritePage(f.Remote.Data, f.Data, f.Remote.PIB); err != nil {
-					_ = e.pool.Unregister(id)
+					_ = e.pool.Unregister(id) //polarvet:allow errdrop demoting the page to storage-direct; the write failure is already handled by clearing Remote
 					f.Remote = cache.RemoteInfo{}
 				}
 			}
@@ -473,13 +473,13 @@ func (e *Engine) loadFrame(id types.PageID) (*cache.Frame, error) {
 	inserted, err := e.cache.Insert(f)
 	if err != nil {
 		if f.Remote.Registered {
-			_ = e.pool.Unregister(id)
+			_ = e.pool.Unregister(id) //polarvet:allow errdrop unwinding a failed fill; the fetch error already propagates and a leaked ref is reclaimed by DropNodeRefs
 		}
 		return nil, err
 	}
 	if inserted != f && f.Remote.Registered {
 		// Lost a racing fill; drop our duplicate registration reference.
-		_ = e.pool.Unregister(id)
+		_ = e.pool.Unregister(id) //polarvet:allow errdrop dropping a duplicate ref after losing a racing fill; the winner's ref keeps the page alive
 	}
 	return inserted, nil
 }
@@ -581,7 +581,7 @@ func (e *Engine) onEvict(f *cache.Frame) {
 		}
 	}
 	if f.Remote.Registered && e.pool != nil {
-		_ = e.pool.Unregister(f.ID)
+		_ = e.pool.Unregister(f.ID) //polarvet:allow errdrop best-effort deref on eviction; an unreachable home node means recovery reclaims the refs wholesale
 	}
 }
 
@@ -623,7 +623,7 @@ func (e *Engine) PLUnlockX(f *cache.Frame) {
 	if e.pool == nil || !f.Remote.Registered {
 		return
 	}
-	_ = e.pool.PL().UnlockX(f.ID, true)
+	_ = e.pool.PL().UnlockX(f.ID, true) //polarvet:allow errdrop latch release to a possibly-dead home node; ReleaseNodeLatches force-clears our latches on recovery
 }
 
 // PLLockS takes the global latch shared (RO pessimistic traversals).
@@ -640,7 +640,7 @@ func (e *Engine) PLUnlockS(f *cache.Frame) {
 	if e.pool == nil || !f.Remote.Registered {
 		return
 	}
-	_ = e.pool.PL().UnlockS(f.ID)
+	_ = e.pool.PL().UnlockS(f.ID) //polarvet:allow errdrop latch release to a possibly-dead home node; ReleaseNodeLatches force-clears our latches on recovery
 }
 
 // SMOStamp returns the value SMOs stamp onto modified pages. It is
@@ -763,7 +763,7 @@ func (mt *Mtr) release() {
 	// node until another node asks).
 	for _, f := range mt.deferred {
 		if mt.e.pool != nil && f.Remote.Registered {
-			_ = mt.e.pool.PL().UnlockX(f.ID, true)
+			_ = mt.e.pool.PL().UnlockX(f.ID, true) //polarvet:allow errdrop latch release to a possibly-dead home node; ReleaseNodeLatches force-clears our latches on recovery
 		}
 		f.Unpin()
 	}

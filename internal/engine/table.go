@@ -243,6 +243,14 @@ func (e *Engine) Bootstrap() error {
 	}
 	e.buf = e.newBufferAt(0)
 	mt := e.BeginMtr()
+	committed := false
+	defer func() {
+		if !committed {
+			// Publish whatever was logged before the failure so the
+			// mini-transaction's pins and deferred PL latches drop.
+			_, _ = mt.Commit()
+		}
+	}()
 	if _, err := btree.Create(e, mt, CatalogSpace); err != nil {
 		return err
 	}
@@ -258,6 +266,7 @@ func (e *Engine) Bootstrap() error {
 	mt.LogWrite(hdr, txn.UndoAllocOffset, txn.MarshalUndoAlloc(1, 8))
 	hdr.Latch.Unlock()
 	e.Unpin(hdr)
+	committed = true
 	end, err := mt.Commit()
 	if err != nil {
 		return err

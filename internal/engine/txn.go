@@ -78,7 +78,7 @@ func (e *Engine) BeginRO() (*Txn, error) {
 		e.roViewsMu.Unlock()
 		return t, nil
 	}
-	resp, err := e.ep.Call(e.cfg.RWNode, txn.ViewRPCMethod, nil)
+	resp, err := e.ep.CallTimeout(e.cfg.RWNode, txn.ViewRPCMethod, nil, 2*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("engine: read view from RW: %w", err)
 	}
@@ -503,8 +503,11 @@ func (t *Txn) Rollback() error {
 // previous versions, then frees the slot. Used by both explicit rollback
 // and crash recovery (step 9 of §5.1).
 func (e *Engine) rollbackChain(id types.TrxID, pg types.PageNo, off uint16, slot int) error {
+	// The walk is bounded structurally: each undo record links strictly
+	// to an older one, so the chain length is the number of writes the
+	// transaction made, not a retry.
 	for pg != 0 {
-		f, err := e.Fetch(types.PageID{Space: UndoSpace, No: pg})
+		f, err := e.Fetch(types.PageID{Space: UndoSpace, No: pg}) //polarvet:allow verbdeadline undo chain walk is bounded by the transaction's own write count, not a retry
 		if err != nil {
 			return err
 		}
@@ -523,33 +526,50 @@ func (e *Engine) rollbackChain(id types.TrxID, pg types.PageNo, off uint16, slot
 		if u.Trx != id {
 			return fmt.Errorf("engine: undo chain of %d reached record of %d", id, u.Trx)
 		}
-		tree := e.tree(u.Space)
-		mt := e.BeginMtr()
-		switch u.Type {
-		case txn.UndoInsert:
-			if err := tree.Delete(mt, u.Key); err != nil && !errors.Is(err, btree.ErrKeyNotFound) {
-				return err
-			}
-		default: // update / delete: restore the previous record bytes
-			if err := tree.Put(mt, u.Key, prevBytes); err != nil {
-				return err
-			}
-		}
-		if _, err := mt.Commit(); err != nil {
+		if err := e.rollbackOne(&u, prevBytes); err != nil { //polarvet:allow verbdeadline undo chain walk is bounded by the transaction's own write count, not a retry
 			return err
 		}
 		pg, off = u.PrevTxnPg, u.PrevTxnOff
 	}
 	if slot >= 0 {
 		mt := e.BeginMtr()
-		if err := e.writeSlot(mt, slot, txn.TxnSlot{State: txn.SlotFree}); err != nil {
-			return err
+		err := e.writeSlot(mt, slot, txn.TxnSlot{State: txn.SlotFree})
+		if _, cerr := mt.Commit(); err == nil {
+			err = cerr
 		}
-		if _, err := mt.Commit(); err != nil {
+		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// rollbackOne restores the previous version for a single undo record
+// under its own mini-transaction. The commit must happen on every path
+// — an abandoned mtr would keep its pins and deferred PL latches
+// forever — so error returns publish whatever was logged first.
+func (e *Engine) rollbackOne(u *txn.UndoRec, prevBytes []byte) error {
+	tree := e.tree(u.Space)
+	mt := e.BeginMtr()
+	committed := false
+	defer func() {
+		if !committed {
+			_, _ = mt.Commit()
+		}
+	}()
+	switch u.Type {
+	case txn.UndoInsert:
+		if err := tree.Delete(mt, u.Key); err != nil && !errors.Is(err, btree.ErrKeyNotFound) {
+			return err
+		}
+	default: // update / delete: restore the previous record bytes
+		if err := tree.Put(mt, u.Key, prevBytes); err != nil {
+			return err
+		}
+	}
+	committed = true
+	_, err := mt.Commit()
+	return err
 }
 
 // ---------------------------------------------------------------------------
@@ -657,10 +677,11 @@ func (e *Engine) backfillWorker() {
 				}
 				return txn.CTSFieldOffset, patch, true
 			})
-			if err != nil {
-				continue // key since moved/deleted: the CTS log still serves
-			}
+			// Commit on both outcomes: an abandoned mtr would keep its
+			// pins forever. On a miss (key since moved/deleted) nothing
+			// was logged and the CTS log still serves readers.
 			_, _ = mt.Commit()
+			_ = err
 		}
 	}
 }

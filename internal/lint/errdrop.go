@@ -8,19 +8,23 @@ import (
 )
 
 // ErrDrop flags statements that discard the error result of a call into
-// internal/rdma, internal/polarfs or internal/plog — the packages whose
-// errors encode simulated infrastructure failures (node unreachable,
-// quorum lost, torn log). Dropping one silently converts an injected
-// fault into corruption, which is exactly what the recovery tests are
-// supposed to observe. A discard is a bare expression statement, an
-// assignment of the error position to _, or a go/defer of such a call.
-// Intra-package calls are exempt (the package owning the error decides
-// locally); cross-package callers must handle or annotate.
+// internal/rdma, internal/polarfs, internal/plog, internal/rmem or
+// internal/parallelraft — the packages whose errors encode simulated
+// infrastructure failures (node unreachable, quorum lost, torn log, latch
+// owner dead). Dropping one silently converts an injected fault into
+// corruption, which is exactly what the recovery tests are supposed to
+// observe. A discard is a bare expression statement, an assignment of the
+// error position to _, or a go/defer of such a call. Intra-package calls
+// are exempt (the package owning the error decides locally);
+// cross-package callers must handle or annotate.
 type ErrDrop struct{}
 
 // errSourcePkgs are the suffixes of packages whose dropped errors are
 // reported.
-var errSourcePkgs = []string{"internal/rdma", "internal/polarfs", "internal/plog"}
+var errSourcePkgs = []string{
+	"internal/rdma", "internal/polarfs", "internal/plog",
+	"internal/rmem", "internal/parallelraft",
+}
 
 // Name implements Analyzer.
 func (ErrDrop) Name() string { return "errdrop" }

@@ -10,14 +10,24 @@
 //   - nosleep (nosleep.go): time.Sleep outside the latency model
 //   - layering (layering.go): the allowed package-import DAG
 //   - lockheld (lockheld.go): fabric verbs under a held sync.Mutex
-//   - errdrop (errdrop.go): discarded errors from rdma/polarfs/plog
+//   - errdrop (errdrop.go): discarded errors from rdma/rmem/polarfs/
+//     plog/parallelraft
+//   - pairing (pairing.go): acquire/release matching (MTR commit, page
+//     pins, PL latches, endpoint attach) over per-function CFGs
+//   - regionescape (regionescape.go): registered-region byte aliases
+//     must not escape the accessor scope
+//   - verbdeadline (verbdeadline.go): fabric waits in engine/cluster
+//     must be deadline- or window-bounded
 //
-// A finding is suppressed by an adjacent directive comment
+// The flow-sensitive analyzers (the last three) share the CFG builder
+// in cfg.go. A finding is suppressed by an adjacent directive comment
 //
 //	//polarvet:allow <analyzer> <reason>
 //
 // on the same line as the finding or on the line directly above it. The
-// reason is mandatory; a directive without one is itself reported.
+// reason is mandatory; a directive without one is itself reported, as
+// are directives naming an unknown analyzer and directives that no
+// longer suppress anything (so stale allows cannot linger).
 package lint
 
 import (
@@ -47,7 +57,7 @@ type Analyzer interface {
 
 // Analyzers returns the full analyzer set, in reporting order.
 func Analyzers() []Analyzer {
-	return []Analyzer{NoSleep{}, Layering{}, LockHeld{}, ErrDrop{}}
+	return []Analyzer{NoSleep{}, Layering{}, LockHeld{}, ErrDrop{}, Pairing{}, RegionEscape{}, VerbDeadline{}}
 }
 
 // Run loads every package matching patterns and applies the analyzers,
@@ -56,6 +66,14 @@ func Run(mod *Module, patterns []string, analyzers []Analyzer) ([]Finding, error
 	paths, err := mod.Packages(patterns...)
 	if err != nil {
 		return nil, err
+	}
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name()] = true
+	}
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name()] = true
 	}
 	var out []Finding
 	for _, path := range paths {
@@ -72,6 +90,7 @@ func Run(mod *Module, patterns []string, analyzers []Analyzer) ([]Finding, error
 				}
 			}
 		}
+		out = append(out, allows.audit(known, ran)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -81,7 +100,13 @@ func Run(mod *Module, patterns []string, analyzers []Analyzer) ([]Finding, error
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return out, nil
 }
@@ -89,14 +114,55 @@ func Run(mod *Module, patterns []string, analyzers []Analyzer) ([]Finding, error
 // directivePrefix introduces an allowlist comment.
 const directivePrefix = "//polarvet:allow"
 
+// allowDirective is one parsed //polarvet:allow comment.
+type allowDirective struct {
+	analyzer string
+	pos      token.Position
+	used     bool
+}
+
 // allowSet records, per file and analyzer, the lines carrying an allow
 // directive. A directive covers its own line and the following line, so
 // it can sit at the end of the offending line or alone just above it.
-type allowSet map[string]map[int]bool // "analyzer\x00filename" -> lines
+type allowSet map[string]map[int]*allowDirective // "analyzer\x00filename" -> line -> directive
 
 func (s allowSet) covers(analyzer string, pos token.Position) bool {
 	lines := s[analyzer+"\x00"+pos.Filename]
-	return lines[pos.Line] || lines[pos.Line-1]
+	hit := false
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		if d := lines[l]; d != nil {
+			d.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// audit reports directives that name an analyzer polarvet does not
+// have, and directives that suppressed nothing on this run (only for
+// analyzers that actually ran, so a partial -analyzers run doesn't
+// flag the others' allows).
+func (s allowSet) audit(known, ran map[string]bool) []Finding {
+	var out []Finding
+	for _, lines := range s {
+		for _, d := range lines {
+			switch {
+			case !known[d.analyzer]:
+				out = append(out, Finding{
+					Analyzer: "directive",
+					Pos:      d.pos,
+					Message:  fmt.Sprintf("//polarvet:allow names unknown analyzer %q", d.analyzer),
+				})
+			case ran[d.analyzer] && !d.used:
+				out = append(out, Finding{
+					Analyzer: "directive",
+					Pos:      d.pos,
+					Message:  fmt.Sprintf("unused //polarvet:allow %s: the analyzer reports nothing here; delete the stale directive", d.analyzer),
+				})
+			}
+		}
+	}
+	return out
 }
 
 // directives collects the allow directives of a package; malformed ones
@@ -122,9 +188,9 @@ func directives(p *Package) (allowSet, []Finding) {
 				}
 				key := fields[0] + "\x00" + pos.Filename
 				if set[key] == nil {
-					set[key] = map[int]bool{}
+					set[key] = map[int]*allowDirective{}
 				}
-				set[key][pos.Line] = true
+				set[key][pos.Line] = &allowDirective{analyzer: fields[0], pos: pos}
 			}
 		}
 	}

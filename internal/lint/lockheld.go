@@ -46,14 +46,23 @@ func (LockHeld) Check(p *Package) []Finding {
 // lockState tracks which mutex expressions are held at the current point
 // of the source-ordered walk.
 type lockState struct {
-	p     *Package
-	fname string
-	held  map[string]bool // mutex expr (rendered) -> held
-	out   []Finding
+	p       *Package
+	fname   string
+	held    map[string]bool      // mutex expr (rendered) -> held
+	methods map[string]boundLock // local name -> bound mutex method value
+	out     []Finding
+}
+
+// boundLock records a mutex method value captured into a local variable
+// (`unlock := mu.Unlock; defer unlock()`): calling the variable is the
+// same transition as calling the method directly.
+type boundLock struct {
+	key  string // mutex expr the method was taken from
+	name string // Lock, Unlock, RLock, RUnlock, TryLock, TryRLock
 }
 
 func checkLockHeld(p *Package, fname string, body *ast.BlockStmt) []Finding {
-	s := &lockState{p: p, fname: fname, held: map[string]bool{}}
+	s := &lockState{p: p, fname: fname, held: map[string]bool{}, methods: map[string]boundLock{}}
 	s.walk(body, false)
 	return s.out
 }
@@ -68,12 +77,18 @@ func (s *lockState) walk(n ast.Node, deferred bool) {
 	case *ast.FuncLit:
 		// Separate scope: locks held here don't leak out, and the
 		// literal's body may run at any time relative to this function.
-		nested := &lockState{p: s.p, fname: s.fname + " (func literal)", held: map[string]bool{}}
+		nested := &lockState{p: s.p, fname: s.fname + " (func literal)", held: map[string]bool{}, methods: map[string]boundLock{}}
 		nested.walk(n.Body, false)
 		s.out = append(s.out, nested.out...)
 		return
 	case *ast.DeferStmt:
 		s.walk(n.Call, true)
+		return
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			s.walk(rhs, deferred)
+		}
+		s.bindMethodValues(n)
 		return
 	case *ast.CallExpr:
 		for _, arg := range n.Args {
@@ -97,9 +112,61 @@ func (s *lockState) walk(n ast.Node, deferred bool) {
 	}
 }
 
-// call classifies one call expression: mutex transition, fabric verb, or
-// neither.
+// bindMethodValues records mutex method values captured into locals
+// (`unlock := mu.Unlock`) so later calls through the variable count as
+// the underlying transition. Rebinding a name to anything else clears it.
+func (s *lockState) bindMethodValues(n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if sel, ok := n.Rhs[i].(*ast.SelectorExpr); ok {
+			if obj, ok := s.p.Info.Uses[sel.Sel].(*types.Func); ok &&
+				obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockMethods[obj.Name()] {
+				s.methods[id.Name] = boundLock{key: types.ExprString(sel.X), name: obj.Name()}
+				continue
+			}
+		}
+		delete(s.methods, id.Name)
+	}
+}
+
+// lockMethods are the sync mutex transitions lockheld models.
+var lockMethods = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+	"Unlock": true, "RUnlock": true,
+}
+
+// transition applies one mutex state change. TryLock/TryRLock count as an
+// acquire: in source order the lock is held from the call until the
+// matching unlock, and the untaken branch carries no fabric verbs between
+// them anyway.
+func (s *lockState) transition(key, method string, deferred bool) {
+	switch method {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		s.held[key] = true
+	case "Unlock", "RUnlock":
+		if !deferred {
+			delete(s.held, key)
+		}
+		// Deferred unlocks release at function end; the mutex stays
+		// held for everything that follows in source order.
+	}
+}
+
+// call classifies one call expression: mutex transition (direct or through
+// a captured method value), fabric verb, or neither.
 func (s *lockState) call(call *ast.CallExpr, deferred bool) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := s.methods[id.Name]; ok {
+			s.transition(b.key, b.name, deferred)
+		}
+		return
+	}
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return
@@ -109,18 +176,8 @@ func (s *lockState) call(call *ast.CallExpr, deferred bool) {
 		return
 	}
 	switch {
-	case obj.Pkg().Path() == "sync":
-		key := types.ExprString(sel.X)
-		switch obj.Name() {
-		case "Lock", "RLock":
-			s.held[key] = true
-		case "Unlock", "RUnlock":
-			if !deferred {
-				delete(s.held, key)
-			}
-			// Deferred unlocks release at function end; the mutex stays
-			// held for everything that follows in source order.
-		}
+	case obj.Pkg().Path() == "sync" && lockMethods[obj.Name()]:
+		s.transition(types.ExprString(sel.X), obj.Name(), deferred)
 	case isFabricVerb(obj):
 		if len(s.held) > 0 {
 			var locks []string

@@ -1,6 +1,7 @@
 package rmem
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -467,7 +468,11 @@ func (h *Home) handlePLReleaseNode(from rdma.NodeID, req []byte) ([]byte, error)
 	return nil, nil
 }
 
-// ReleaseNodeLatches clears every X latch owned by node in the PLT.
+// ReleaseNodeLatches clears every X latch owned by node in the PLT. The
+// sweep runs in place under the region write lock (WithBytesLocal), so
+// it is one atomic pass: no survivor can grab a latch word between the
+// scan of one slot and the clear of the next, and the crashed owner's
+// in-flight CAS retries cannot interleave half-cleared state.
 func (h *Home) ReleaseNodeLatches(node rdma.NodeID) {
 	h.mu.Lock()
 	var idx uint16
@@ -483,15 +488,23 @@ func (h *Home) ReleaseNodeLatches(node rdma.NodeID) {
 		h.mu.Unlock()
 		return
 	}
-	var offs []uint64
+	offs := make([]uint64, 0, len(h.pat))
 	for _, e := range h.pat {
 		offs = append(offs, e.slotOff)
 	}
 	h.mu.Unlock()
-	for _, off := range offs {
-		w := h.meta.MustLoad64Local(off)
-		if plIsX(w) && plOwner(w) == idx {
-			h.meta.MustCAS64Local(off, w, 0)
+	err := h.meta.WithBytesLocal(0, h.meta.Len(), func(b []byte) error {
+		for _, off := range offs {
+			w := binary.LittleEndian.Uint64(b[off:])
+			if plIsX(w) && plOwner(w) == idx {
+				binary.LittleEndian.PutUint64(b[off:], 0)
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		// The bounds come from the region's own length: failure is an
+		// addressing bug, same contract as the Must*Local accessors.
+		panic(fmt.Sprintf("rmem: PLT sweep: %v", err))
 	}
 }
