@@ -1,18 +1,22 @@
 // Command polarvet runs the repository's architectural static analyzers
 // (internal/lint) over the module: nosleep, layering, lockheld, errdrop,
-// pairing, regionescape, verbdeadline.
+// pairing, regionescape, verbdeadline, lockorder.
 //
 // Usage:
 //
 //	go run ./cmd/polarvet ./...
 //	go run ./cmd/polarvet ./internal/engine ./internal/cluster/...
-//	go run ./cmd/polarvet -json ./...
-//	go run ./cmd/polarvet -github ./...
+//	go run ./cmd/polarvet -json findings.json ./...
+//	go run ./cmd/polarvet -github -lockgraph lockgraph.dot ./...
 //
-// Exit status: 0 clean, 1 findings, 2 load/usage failure. -json prints
-// findings as a JSON array (machine-readable, stable order); -github
-// prints GitHub Actions workflow annotations so findings appear inline on
-// pull-request diffs. Suppress an individual finding with an adjacent
+// Exit status: 0 clean, 1 findings, 2 load/usage failure. -json FILE
+// writes findings as a JSON array (machine-readable, stable order; "-"
+// means stdout); -github prints GitHub Actions workflow annotations so
+// findings appear inline on pull-request diffs; -lockgraph FILE dumps
+// the module's lock classes and observed acquisition orderings as
+// Graphviz DOT ("-" means stdout). All requested outputs are written
+// before the process exits, findings or not. Suppress an individual
+// finding with an adjacent
 //
 //	//polarvet:allow <analyzer> <reason>
 //
@@ -44,8 +48,9 @@ type jsonFinding struct {
 func main() {
 	root := flag.String("C", ".", "module root (directory containing go.mod)")
 	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
-	asJSON := flag.Bool("json", false, "print findings as a JSON array")
+	jsonOut := flag.String("json", "", "write findings as a JSON array to `file` (\"-\" = stdout)")
 	asGitHub := flag.Bool("github", false, "print findings as GitHub Actions annotations")
+	lockgraph := flag.String("lockgraph", "", "write the lock acquisition-order graph as Graphviz DOT to `file` (\"-\" = stdout)")
 	flag.Parse()
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -86,8 +91,21 @@ func main() {
 	if err != nil {
 		absRoot = *root
 	}
-	switch {
-	case *asJSON:
+
+	// Requested outputs are written before the findings-driven exit so a
+	// failing CI run still produces its artifacts.
+	if *lockgraph != "" {
+		g, err := lint.BuildLockGraph(mod, patterns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polarvet:", err)
+			os.Exit(2)
+		}
+		if err := writeOutput(*lockgraph, []byte(g.DOT())); err != nil {
+			fmt.Fprintln(os.Stderr, "polarvet:", err)
+			os.Exit(2)
+		}
+	}
+	if *jsonOut != "" {
 		out := make([]jsonFinding, 0, len(findings))
 		for _, f := range findings {
 			out = append(out, jsonFinding{
@@ -98,12 +116,17 @@ func main() {
 				Message:  f.Message,
 			})
 		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "polarvet:", err)
 			os.Exit(2)
 		}
+		if err := writeOutput(*jsonOut, append(buf, '\n')); err != nil {
+			fmt.Fprintln(os.Stderr, "polarvet:", err)
+			os.Exit(2)
+		}
+	}
+	switch {
 	case *asGitHub:
 		for _, f := range findings {
 			// https://docs.github.com/actions/reference/workflow-commands:
@@ -112,6 +135,9 @@ func main() {
 				relToRoot(absRoot, f.Pos.Filename), f.Pos.Line, f.Pos.Column,
 				f.Analyzer, githubEscape(f.Message))
 		}
+	case *jsonOut != "":
+		// The JSON output already carries the findings; keep stdout quiet
+		// unless it was the JSON destination itself.
 	default:
 		for _, f := range findings {
 			fmt.Println(f)
@@ -121,6 +147,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "polarvet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// writeOutput writes data to the named file, or stdout for "-".
+func writeOutput(name string, data []byte) error {
+	if name == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(name, data, 0o644)
 }
 
 // relToRoot rewrites filename relative to the module root so annotations

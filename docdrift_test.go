@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"polardb/internal/lint"
 	"polardb/pkg/polar"
 )
 
@@ -82,5 +83,74 @@ func TestObservabilityDocDrift(t *testing.T) {
 	sort.Strings(stale)
 	for _, n := range stale {
 		t.Errorf("DESIGN.md's Observability table lists %q, which no component registers", n)
+	}
+}
+
+// lockClassRow matches one row of DESIGN.md's lock-class table: the
+// backticked class name and the fabric-tolerant cell.
+var lockClassRow = regexp.MustCompile("(?m)^\\| `([^`]+)` \\| ([^|]*)\\|")
+
+// TestLockClassesDocDrift pins DESIGN.md's "Lock classes and global
+// acquisition order" table to the lockorder analyzer: the documented
+// class set must equal the classes discovered from the module, and the
+// ✓ (fabric-tolerant) markers must equal the analyzer's fabricTolerant
+// table. A new mutex field must be documented (and argued tolerant or
+// not); a class removed from the code must leave the table.
+func TestLockClassesDocDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo analysis skipped in -short mode")
+	}
+	doc, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	begin := strings.Index(text, "<!-- lockclasses:begin -->")
+	end := strings.Index(text, "<!-- lockclasses:end -->")
+	if begin < 0 || end < begin {
+		t.Fatal("DESIGN.md has no <!-- lockclasses:begin/end --> table")
+	}
+	section := text[begin:end]
+
+	documented := map[string]bool{} // class -> fabric-tolerant
+	for _, m := range lockClassRow.FindAllStringSubmatch(section, -1) {
+		if m[1] == "class" {
+			continue // header row
+		}
+		documented[m[1]] = strings.Contains(m[2], "✓")
+	}
+	if len(documented) == 0 {
+		t.Fatal("no lock classes found in DESIGN.md's table")
+	}
+
+	mod, err := lint.LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := lint.BuildLockGraph(mod, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{}
+	for _, c := range g.Classes {
+		known[c] = true
+		tol, ok := documented[c]
+		if !ok {
+			t.Errorf("lock class %q exists in the module but is missing from DESIGN.md's table", c)
+			continue
+		}
+		if _, isTol := g.FabricTolerant[c]; isTol != tol {
+			t.Errorf("lock class %q: DESIGN.md marks fabric-tolerant=%v, analyzer says %v", c, tol, isTol)
+		}
+	}
+	var stale []string
+	for c := range documented {
+		if !known[c] {
+			stale = append(stale, c)
+		}
+	}
+	sort.Strings(stale)
+	for _, c := range stale {
+		t.Errorf("DESIGN.md's lock-class table lists %q, which the analyzer no longer discovers", c)
 	}
 }

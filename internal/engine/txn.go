@@ -579,35 +579,56 @@ func (e *Engine) rollbackOne(u *txn.UndoRec, prevBytes []byte) error {
 // (page, offset). Append-only: offsets never move.
 func (e *Engine) appendUndo(mt *Mtr, u *txn.UndoRec) (types.PageNo, uint16, error) {
 	enc := u.Marshal()
-	e.undoMu.Lock()
-	defer e.undoMu.Unlock()
-	if e.undoOff < 8 {
-		e.undoOff = 8 // bytes [0,8) of every page hold the page LSN
-	}
-	if int(e.undoOff)+len(enc) > types.PageSize {
-		e.undoPage++
-		e.undoOff = 8
-	}
-	pg, off := e.undoPage, e.undoOff
-	f, err := e.Fetch(types.PageID{Space: UndoSpace, No: pg})
-	if err != nil {
-		return 0, 0, err
-	}
-	f.Latch.Lock()
-	mt.LogWrite(f, int(off), enc)
-	f.Latch.Unlock()
-	e.Unpin(f)
-	e.undoOff += uint16(len(enc))
-	// Persist the cursor so recovery resumes appending past everything.
+	// Page fetches can cross the fabric (remote memory, then PolarFS), so
+	// they happen with undoMu released; the lock covers only the cursor
+	// reservation and the latched in-frame writes. If another appender
+	// rolls the cursor onto a new page while we fetch, retry against it.
 	hdr, err := e.Fetch(types.PageID{Space: UndoSpace, No: 0})
 	if err != nil {
 		return 0, 0, err
 	}
-	hdr.Latch.Lock()
-	mt.LogWrite(hdr, txn.UndoAllocOffset, txn.MarshalUndoAlloc(e.undoPage, e.undoOff))
-	hdr.Latch.Unlock()
-	e.Unpin(hdr)
-	return pg, off, nil
+	defer e.Unpin(hdr)
+	e.undoMu.Lock()
+	// Counted, not unbounded: each retry means a full undo page was
+	// appended by others during one fetch; 16 in a row is pathological.
+	for tries := 0; tries < 16; tries++ {
+		if e.undoOff < 8 {
+			e.undoOff = 8 // bytes [0,8) of every page hold the page LSN
+		}
+		if int(e.undoOff)+len(enc) > types.PageSize {
+			e.undoPage++
+			e.undoOff = 8
+		}
+		pg := e.undoPage
+		e.undoMu.Unlock()
+		f, err := e.Fetch(types.PageID{Space: UndoSpace, No: pg})
+		if err != nil {
+			return 0, 0, err
+		}
+		e.undoMu.Lock()
+		if e.undoPage != pg || int(e.undoOff)+len(enc) > types.PageSize {
+			e.undoMu.Unlock()
+			e.Unpin(f)
+			e.undoMu.Lock()
+			continue
+		}
+		off := e.undoOff
+		e.undoOff += uint16(len(enc))
+		f.Latch.Lock()
+		mt.LogWrite(f, int(off), enc)
+		f.Latch.Unlock()
+		// Persist the cursor so recovery resumes appending past everything.
+		// Written under undoMu, so header cursor values are logged in
+		// reservation order.
+		hdr.Latch.Lock()
+		mt.LogWrite(hdr, txn.UndoAllocOffset, txn.MarshalUndoAlloc(e.undoPage, e.undoOff))
+		hdr.Latch.Unlock()
+		e.undoMu.Unlock()
+		e.Unpin(f)
+		return pg, off, nil
+	}
+	e.undoMu.Unlock()
+	return 0, 0, fmt.Errorf("engine: undo append cursor kept moving under fetch; giving up")
 }
 
 // claimSlot assigns a persistent transaction slot (first write).

@@ -18,9 +18,18 @@
 //     must not escape the accessor scope
 //   - verbdeadline (verbdeadline.go): fabric waits in engine/cluster
 //     must be deadline- or window-bounded
+//   - lockorder (lockorder.go): a whole-module analysis — per-package
+//     function summaries linked across import edges into a call graph
+//     (callgraph.go), held-lock sets propagated interprocedurally — that
+//     reports cycles in the global lock-acquisition order (potential
+//     deadlocks) and fabric verbs reached while a node-local latch class
+//     is held through any call path
 //
-// The flow-sensitive analyzers (the last three) share the CFG builder
-// in cfg.go. A finding is suppressed by an adjacent directive comment
+// The flow-sensitive analyzers share the CFG builder in cfg.go; pairing
+// and verbdeadline additionally consume cross-package summaries, so an
+// obligation handed to an exported helper in another module package is
+// tracked through it. A finding is suppressed by an adjacent directive
+// comment
 //
 //	//polarvet:allow <analyzer> <reason>
 //
@@ -55,9 +64,19 @@ type Analyzer interface {
 	Check(p *Package) []Finding
 }
 
+// ModuleAnalyzer is an Analyzer that needs the whole module at once:
+// CheckModule runs a single time over every pattern-selected package
+// (reaching packages loaded as dependencies through Package.Mod), instead
+// of once per package. Its findings are suppressed by the same adjacent
+// //polarvet:allow directives as per-package findings.
+type ModuleAnalyzer interface {
+	Analyzer
+	CheckModule(pkgs []*Package) []Finding
+}
+
 // Analyzers returns the full analyzer set, in reporting order.
 func Analyzers() []Analyzer {
-	return []Analyzer{NoSleep{}, Layering{}, LockHeld{}, ErrDrop{}, Pairing{}, RegionEscape{}, VerbDeadline{}}
+	return []Analyzer{NoSleep{}, Layering{}, LockHeld{}, ErrDrop{}, Pairing{}, RegionEscape{}, VerbDeadline{}, LockOrder{}}
 }
 
 // Run loads every package matching patterns and applies the analyzers,
@@ -75,23 +94,49 @@ func Run(mod *Module, patterns []string, analyzers []Analyzer) ([]Finding, error
 	for _, a := range analyzers {
 		ran[a.Name()] = true
 	}
+	// Load everything first: module analyzers need the whole selection
+	// (and its dependency closure) before they can link summaries, and
+	// directives from every file must be known before any finding is
+	// filtered.
+	var pkgs []*Package
+	allows := allowSet{}
 	var out []Finding
 	for _, path := range paths {
 		p, err := mod.Load(path)
 		if err != nil {
 			return nil, err
 		}
-		allows, bad := directives(p)
+		pkgs = append(pkgs, p)
+		as, bad := directives(p)
 		out = append(out, bad...)
-		for _, a := range analyzers {
+		for key, lines := range as {
+			if allows[key] == nil {
+				allows[key] = lines
+				continue
+			}
+			for line, d := range lines {
+				allows[key][line] = d
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if ma, ok := a.(ModuleAnalyzer); ok {
+			for _, f := range ma.CheckModule(pkgs) {
+				if !allows.covers(a.Name(), f.Pos) {
+					out = append(out, f)
+				}
+			}
+			continue
+		}
+		for _, p := range pkgs {
 			for _, f := range a.Check(p) {
 				if !allows.covers(a.Name(), f.Pos) {
 					out = append(out, f)
 				}
 			}
 		}
-		out = append(out, allows.audit(known, ran)...)
 	}
+	out = append(out, allows.audit(known, ran)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {

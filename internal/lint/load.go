@@ -27,6 +27,14 @@ type Module struct {
 	fset  *token.FileSet
 	cache map[string]*Package
 	std   types.ImporterFrom
+
+	// Cross-package analysis state, filled lazily in import order by the
+	// analyzers that link per-package summaries into module-wide facts.
+	pairSummaries map[*types.Func]*pairSummary
+	pairDone      map[string]bool
+	pairAdapted   map[*pairSpec]*pairSpec
+	blockingFns   map[*types.Func]bool
+	blockingDone  map[string]bool
 }
 
 // Package is one loaded, type-checked package (test files excluded).
@@ -37,6 +45,7 @@ type Package struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	Mod   *Module // the module this package was loaded from
 }
 
 // LoadModule opens the module rooted at root (the directory holding
@@ -63,12 +72,32 @@ func LoadModule(root string) (*Module, error) {
 	}
 	fset := token.NewFileSet()
 	return &Module{
-		Root:  abs,
-		Path:  path,
-		fset:  fset,
-		cache: map[string]*Package{},
-		std:   importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		Root:          abs,
+		Path:          path,
+		fset:          fset,
+		cache:         map[string]*Package{},
+		std:           importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pairSummaries: map[*types.Func]*pairSummary{},
+		pairDone:      map[string]bool{},
+		pairAdapted:   map[*pairSpec]*pairSpec{},
+		blockingFns:   map[*types.Func]bool{},
+		blockingDone:  map[string]bool{},
 	}, nil
+}
+
+// Loaded returns every module package loaded so far (including packages
+// pulled in as dependencies of the requested patterns), sorted by import
+// path. Module-level analyses use this as their whole-module view: a
+// pattern-restricted run still sees every package its selection imports.
+func (m *Module) Loaded() []*Package {
+	var out []*Package
+	for _, p := range m.cache {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
 }
 
 // Packages expands package patterns ("./...", "./internal/...",
@@ -202,7 +231,7 @@ func (m *Module) Load(importPath string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
 	}
-	p := &Package{Path: importPath, Dir: dir, Fset: m.fset, Files: files, Pkg: tpkg, Info: info}
+	p := &Package{Path: importPath, Dir: dir, Fset: m.fset, Files: files, Pkg: tpkg, Info: info, Mod: m}
 	m.cache[importPath] = p
 	return p, nil
 }

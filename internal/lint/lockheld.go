@@ -198,7 +198,7 @@ func (s *lockState) call(call *ast.CallExpr, deferred bool) {
 // isFabricVerb reports whether obj is a latency-bearing method on
 // *rdma.Endpoint.
 func isFabricVerb(obj *types.Func) bool {
-	if !strings.HasSuffix(obj.Pkg().Path(), "internal/rdma") || !fabricVerbs[obj.Name()] {
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/rdma") || !fabricVerbs[obj.Name()] {
 		return false
 	}
 	sig, ok := obj.Type().(*types.Signature)

@@ -157,7 +157,7 @@ func (s pairState) clone() pairState {
 	return out
 }
 
-// pairSummary is what one package-local function means to its callers.
+// pairSummary is what one module function means to its callers.
 type pairSummary struct {
 	releases map[int]bool        // parameter index -> released on every path
 	stores   map[int]bool        // parameter index -> handed to a new owner (stored, returned)
@@ -169,16 +169,51 @@ func (Pairing) Check(p *Package) []Finding {
 	if strings.HasSuffix(p.Path, "internal/rdma") {
 		return nil
 	}
+	ensurePairSummaries(p)
+	scopes := funcScopes(p)
+	var out []Finding
+	for _, sc := range scopes {
+		a := &pairAnalysis{p: p, scope: sc, g: buildCFG(sc.body),
+			summaries: p.Mod.pairSummaries, adapted: p.Mod.pairAdapted, report: true}
+		a.run()
+		out = append(out, a.findings...)
+	}
+	return out
+}
+
+// ensurePairSummaries computes, once per package, the pair summaries of
+// p and of every module package it imports — dependencies first, so an
+// obligation handed to an exported helper in another package is tracked
+// through that helper's (already computed) summary. The shared module
+// type-check universe means a cross-package callee is the same
+// *types.Func object that keyed the summary when its home package was
+// summarized. rdma is skipped: the fabric's own functions summarize as
+// unknown and stay conservatively treated.
+func ensurePairSummaries(p *Package) {
+	m := p.Mod
+	if m.pairDone[p.Path] {
+		return
+	}
+	m.pairDone[p.Path] = true // Go forbids import cycles; set-first is just cheap reentry protection
+	for _, imp := range p.Pkg.Imports() {
+		path := imp.Path()
+		if path != m.Path && !strings.HasPrefix(path, m.Path+"/") {
+			continue
+		}
+		if dp, err := m.Load(path); err == nil {
+			ensurePairSummaries(dp)
+		}
+	}
+	if strings.HasSuffix(p.Path, "internal/rdma") {
+		return
+	}
 	scopes := funcScopes(p)
 	cfgs := make([]*funcCFG, len(scopes))
 	for i, sc := range scopes {
 		cfgs[i] = buildCFG(sc.body)
 	}
-
-	// Intra-package summaries, to a (bounded) fixpoint so helpers that
-	// delegate to other helpers still summarize.
-	summaries := map[*types.Func]*pairSummary{}
-	adapted := map[*pairSpec]*pairSpec{}
+	// Intra-package fixpoint (imports are already summarized above), so
+	// helpers that delegate to other helpers still summarize.
 	for round := 0; round < 5; round++ {
 		changed := false
 		for i, sc := range scopes {
@@ -189,14 +224,14 @@ func (Pairing) Check(p *Package) []Finding {
 			if !ok {
 				continue
 			}
-			a := &pairAnalysis{p: p, scope: sc, g: cfgs[i], summaries: summaries, adapted: adapted}
+			a := &pairAnalysis{p: p, scope: sc, g: cfgs[i], summaries: m.pairSummaries, adapted: m.pairAdapted}
 			a.run()
 			ns := a.summary()
 			// An empty summary is still knowledge — "borrows all its
 			// parameters" — and must land in the map so callers don't
 			// fall back to the conservative unknown-callee treatment.
-			if old := summaries[fobj]; old == nil || !samePairSummary(old, ns) {
-				summaries[fobj] = ns
+			if old := m.pairSummaries[fobj]; old == nil || !samePairSummary(old, ns) {
+				m.pairSummaries[fobj] = ns
 				changed = true
 			}
 		}
@@ -204,14 +239,6 @@ func (Pairing) Check(p *Package) []Finding {
 			break
 		}
 	}
-
-	var out []Finding
-	for i, sc := range scopes {
-		a := &pairAnalysis{p: p, scope: sc, g: cfgs[i], summaries: summaries, adapted: adapted, report: true}
-		a.run()
-		out = append(out, a.findings...)
-	}
-	return out
 }
 
 func samePairSummary(a, b *pairSummary) bool {
@@ -440,8 +467,8 @@ func keyRelated(a, b string) bool {
 }
 
 // releaseHits returns the releasing effects of a call: table releases
-// plus package-local functions known (by summary) to release a
-// parameter on every path.
+// plus module functions known (by summary) to release a parameter on
+// every path.
 func (a *pairAnalysis) releaseHits(call *ast.CallExpr) []relHit {
 	var out []relHit
 	if obj := calleeFunc(a.p, call); obj != nil {
@@ -463,12 +490,10 @@ func (a *pairAnalysis) releaseHits(call *ast.CallExpr) []relHit {
 				}
 			}
 		}
-		if obj.Pkg() == a.p.Pkg {
-			if sum := a.summaries[obj]; sum != nil {
-				for i := range call.Args {
-					if sum.releases[i] {
-						out = append(out, relHit{key: types.ExprString(call.Args[i])})
-					}
+		if sum := a.summaries[obj]; sum != nil {
+			for i := range call.Args {
+				if sum.releases[i] {
+					out = append(out, relHit{key: types.ExprString(call.Args[i])})
 				}
 			}
 		}
@@ -554,10 +579,10 @@ func (a *pairAnalysis) applyTransfers(st pairState, n ast.Node) {
 				}
 				return true
 			}
-			// A package-local callee that stores a parameter takes over
-			// the obligation: `retained.push(cur)` moves cur into the
+			// A module callee that stores a parameter takes over the
+			// obligation: `retained.push(cur)` moves cur into the
 			// container that releaseAll later drains.
-			if obj := calleeFunc(a.p, c); obj != nil && obj.Pkg() == a.p.Pkg {
+			if obj := calleeFunc(a.p, c); obj != nil {
 				if sum := a.summaries[obj]; sum != nil {
 					for i, arg := range c.Args {
 						if !sum.stores[i] {
@@ -703,26 +728,24 @@ func (a *pairAnalysis) applyAcquire(st pairState, n ast.Node) {
 			return
 		}
 	}
-	// Package-local constructor that hands back acquired resources.
-	if obj.Pkg() == a.p.Pkg {
-		if sum := a.summaries[obj]; sum != nil {
-			sig, _ := obj.Type().(*types.Signature)
-			for j, specs := range sum.returned {
-				guard := guardNone
-				if sig != nil && sig.Results().Len() > 1 && isErrorType(sig.Results().At(sig.Results().Len()-1).Type()) {
-					guard = guardErr
+	// Module constructor that hands back acquired resources.
+	if sum := a.summaries[obj]; sum != nil {
+		sig, _ := obj.Type().(*types.Signature)
+		for j, specs := range sum.returned {
+			guard := guardNone
+			if sig != nil && sig.Results().Len() > 1 && isErrorType(sig.Results().At(sig.Results().Len()-1).Type()) {
+				guard = guardErr
+			}
+			for _, spec := range specs {
+				ad := a.adapted[spec]
+				if ad == nil {
+					c := *spec
+					c.id = idResult
+					c.relByArg = false
+					ad = &c
+					a.adapted[spec] = ad
 				}
-				for _, spec := range specs {
-					ad := a.adapted[spec]
-					if ad == nil {
-						c := *spec
-						c.id = idResult
-						c.relByArg = false
-						ad = &c
-						a.adapted[spec] = ad
-					}
-					bind(j, ad, guard)
-				}
+				bind(j, ad, guard)
 			}
 		}
 	}
@@ -804,7 +827,7 @@ func (a *pairAnalysis) rootIdents(e ast.Expr) []*ast.Ident {
 			walk(e.X)
 		case *ast.CallExpr:
 			var sum *pairSummary
-			if obj := calleeFunc(a.p, e); obj != nil && obj.Pkg() == a.p.Pkg {
+			if obj := calleeFunc(a.p, e); obj != nil {
 				sum = a.summaries[obj]
 			}
 			for i, arg := range e.Args {

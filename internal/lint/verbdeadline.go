@@ -17,8 +17,9 @@ import (
 //
 //  2. A fabric-waiting call (an Endpoint verb, a remote-tier client
 //     method — rmem.Pool / rmem.PLManager / polarfs.Client /
-//     txn.Client — or a package-local function that transitively
-//     issues one) sitting on a CFG cycle is an unbounded retry unless
+//     txn.Client — or any module function that transitively issues
+//     one, in this package or another) sitting on a CFG cycle is an
+//     unbounded retry unless
 //     the cycle itself is bounded: it advances a retry.Backoff (whose
 //     window expires), it can be cancelled through a select clause
 //     that leaves the loop (daemon shutdown channels), or every loop
@@ -60,7 +61,7 @@ func (VerbDeadline) Check(p *Package) []Finding {
 		return nil
 	}
 
-	blockingLocal := blockingLocalFuncs(p)
+	ensureBlockingFns(p)
 	isBlocking := func(call *ast.CallExpr) bool {
 		obj := calleeFunc(p, call)
 		if obj == nil {
@@ -76,7 +77,7 @@ func (VerbDeadline) Check(p *Package) []Finding {
 				}
 			}
 		}
-		return obj.Pkg() == p.Pkg && blockingLocal[obj]
+		return p.Mod.blockingFns[obj]
 	}
 
 	var out []Finding
@@ -132,10 +133,30 @@ func (VerbDeadline) Check(p *Package) []Finding {
 	return out
 }
 
-// blockingLocalFuncs finds package-local functions that (transitively)
-// issue a fabric verb or remote-tier client call on some path.
-func blockingLocalFuncs(p *Package) map[*types.Func]bool {
-	blocking := map[*types.Func]bool{}
+// ensureBlockingFns computes, once per package, which of p's functions
+// (and, recursively, its module dependencies') transitively issue a
+// fabric verb or remote-tier client call on some path, into the
+// module-wide map — so a cluster loop retrying an exported engine
+// helper is recognized as fabric-waiting. rdma is skipped: its methods
+// are the verbs themselves, matched by isFabricVerb.
+func ensureBlockingFns(p *Package) {
+	m := p.Mod
+	if m.blockingDone[p.Path] {
+		return
+	}
+	m.blockingDone[p.Path] = true
+	for _, imp := range p.Pkg.Imports() {
+		path := imp.Path()
+		if path != m.Path && !strings.HasPrefix(path, m.Path+"/") {
+			continue
+		}
+		if dp, err := m.Load(path); err == nil {
+			ensureBlockingFns(dp)
+		}
+	}
+	if strings.HasSuffix(p.Path, "internal/rdma") {
+		return
+	}
 	decls := map[*types.Func]*ast.FuncDecl{}
 	for _, file := range p.Files {
 		for _, decl := range file.Decls {
@@ -149,7 +170,7 @@ func blockingLocalFuncs(p *Package) map[*types.Func]bool {
 	for changed := true; changed; {
 		changed = false
 		for fobj, fd := range decls {
-			if blocking[fobj] {
+			if m.blockingFns[fobj] {
 				continue
 			}
 			hit := false
@@ -165,7 +186,7 @@ func blockingLocalFuncs(p *Package) map[*types.Func]bool {
 				if obj == nil {
 					return true
 				}
-				if isFabricVerb(obj) || (obj.Pkg() == p.Pkg && blocking[obj]) {
+				if isFabricVerb(obj) || m.blockingFns[obj] {
 					hit = true
 					return false
 				}
@@ -180,12 +201,11 @@ func blockingLocalFuncs(p *Package) map[*types.Func]bool {
 				return true
 			})
 			if hit {
-				blocking[fobj] = true
+				m.blockingFns[fobj] = true
 				changed = true
 			}
 		}
 	}
-	return blocking
 }
 
 // sccBounded decides whether the cycle with the given id terminates or

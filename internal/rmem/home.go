@@ -65,6 +65,16 @@ type Home struct {
 	slaveMu sync.Mutex
 	slave   rdma.NodeID
 
+	// Replication queue (replication.go): mutations mirrored to the slave
+	// are enqueued under h.mu but sent by replSender with no lock held, so
+	// the control plane never stalls behind slave fabric latency.
+	replMu   sync.Mutex
+	replCond *sync.Cond
+	replQ    [][]byte
+	replSeq  uint64 // ops enqueued
+	replDone uint64 // ops sent (or dropped)
+	replStop bool
+
 	stats   Stats
 	met     homeMetrics
 	closeCh chan struct{}
@@ -110,6 +120,7 @@ func NewHome(ep *rdma.Endpoint, cfg Config, slave rdma.NodeID) *Home {
 		met:     newHomeMetrics(ep.Metrics()),
 		closeCh: make(chan struct{}),
 	}
+	h.replCond = sync.NewCond(&h.replMu)
 	for i := cfg.MetaSlots - 1; i >= 0; i-- {
 		h.metaFree = append(h.metaFree, uint64(i*metaSlotSize))
 	}
@@ -123,6 +134,8 @@ func NewHome(ep *rdma.Endpoint, cfg Config, slave rdma.NodeID) *Home {
 	ep.RegisterHandler(cfg.method("scan"), h.handleScan)
 	ep.RegisterHandler(cfg.method("droprefs"), h.handleDropRefs)
 	ep.RegisterHandler(cfg.method("forceevict"), h.handleForceEvict)
+	h.wg.Add(1)
+	go h.replSender()
 	h.wg.Add(1)
 	go h.backgroundEvictor()
 	if cfg.SlabHeartbeat > 0 {
@@ -199,9 +212,14 @@ func (h *Home) Promote() {
 	h.mu.Unlock()
 }
 
-// Close stops the home's background goroutines.
+// Close stops the home's background goroutines, draining any queued
+// replication first.
 func (h *Home) Close() {
 	close(h.closeCh)
+	h.replMu.Lock()
+	h.replStop = true
+	h.replCond.Broadcast()
+	h.replMu.Unlock()
 	h.wg.Wait()
 }
 
@@ -298,6 +316,7 @@ func (h *Home) AddSlab(node rdma.NodeID, pages int) (int, error) {
 	}
 	h.mu.Unlock()
 	h.replicate(replAddSlab(node, region, got))
+	h.flushReplication()
 	return total, nil
 }
 
@@ -484,6 +503,7 @@ func (h *Home) Shrink(targetSlots int) (int, error) {
 	}
 	t := total()
 	h.mu.Unlock()
+	h.flushReplication()
 	return t, nil
 }
 
@@ -620,6 +640,9 @@ func (h *Home) handleRegister(from rdma.NodeID, req []byte) ([]byte, error) {
 	if err := rd.Err(); err != nil {
 		return nil, err
 	}
+	// Reply only after the slave mirrors this op (flush runs after the
+	// unlock below: deferred calls run last-in first-out).
+	defer h.flushReplication()
 	h.mu.Lock()
 	h.stats.Registers++
 	h.met.registers.Inc()
@@ -696,6 +719,7 @@ func (h *Home) handleUnregister(from rdma.NodeID, req []byte) ([]byte, error) {
 	if err := rd.Err(); err != nil {
 		return nil, err
 	}
+	defer h.flushReplication() // after the unlock below (LIFO)
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	e, ok := h.pat[page.Key()]
@@ -723,6 +747,7 @@ func (h *Home) handleInvalidate(from rdma.NodeID, req []byte) ([]byte, error) {
 	if err := rd.Err(); err != nil {
 		return nil, err
 	}
+	defer h.flushReplication()
 	h.mu.Lock()
 	e, ok := h.pat[page.Key()]
 	if !ok {
@@ -812,6 +837,7 @@ func (h *Home) HandleSlabFailure(node rdma.NodeID) {
 		}
 	}
 	h.mu.Unlock()
+	h.flushReplication()
 	for n, pages := range holders {
 		if h.isKicked(n) {
 			continue

@@ -82,11 +82,69 @@ func replFreeSlab(node rdma.NodeID, region uint32) []byte {
 	return w.Bytes()
 }
 
-// replicate forwards a metadata mutation to the slave home, if configured.
-// Failure is tolerated (the slave is then stale; the DBaaS would replace
-// it); the master never blocks on a dead slave. The slave pointer has its
-// own lock so replicate is safe to call with or without h.mu held.
+// replicate enqueues a metadata mutation for mirroring to the slave home,
+// if configured. The fabric call itself happens on the replication sender
+// goroutine with no Home lock held — the enqueue is what call sites under
+// h.mu perform, so home metadata operations never serialize behind slave
+// fabric latency (and can never deadlock against a slave calling back).
+// Call sites that must not reply before the slave is current follow up
+// with flushReplication once h.mu is released. Queue order is mutation
+// order: every mutating call site enqueues while still holding h.mu.
 func (h *Home) replicate(op []byte) {
+	h.slaveMu.Lock()
+	slave := h.slave
+	h.slaveMu.Unlock()
+	if slave == "" {
+		return
+	}
+	h.replMu.Lock()
+	h.replQ = append(h.replQ, op)
+	h.replSeq++
+	h.replCond.Broadcast()
+	h.replMu.Unlock()
+}
+
+// flushReplication blocks until every previously enqueued mutation has
+// been sent (or dropped with its dead slave). Must be called WITHOUT
+// h.mu held — the wait spans a fabric round trip per queued op.
+func (h *Home) flushReplication() {
+	h.replMu.Lock()
+	target := h.replSeq
+	for h.replDone < target && !h.replStop {
+		h.replCond.Wait()
+	}
+	h.replMu.Unlock()
+}
+
+// replSender is the single goroutine draining the replication queue, so
+// mirrored mutations reach the slave in exactly the order the master
+// applied them.
+func (h *Home) replSender() {
+	defer h.wg.Done()
+	for {
+		h.replMu.Lock()
+		for len(h.replQ) == 0 && !h.replStop {
+			h.replCond.Wait()
+		}
+		if len(h.replQ) == 0 {
+			h.replMu.Unlock()
+			return
+		}
+		op := h.replQ[0]
+		h.replQ = h.replQ[1:]
+		h.replMu.Unlock()
+		h.sendReplicate(op)
+		h.replMu.Lock()
+		h.replDone++
+		h.replCond.Broadcast()
+		h.replMu.Unlock()
+	}
+}
+
+// sendReplicate performs the actual mirror call. Failure is tolerated
+// (the slave is then stale; the DBaaS would replace it); the master
+// never blocks on a dead slave beyond the call timeout.
+func (h *Home) sendReplicate(op []byte) {
 	h.slaveMu.Lock()
 	slave := h.slave
 	h.slaveMu.Unlock()

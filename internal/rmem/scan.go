@@ -49,6 +49,7 @@ func (h *Home) ForceEvict(page types.PageID) {
 	e.refs = map[rdma.NodeID]bool{}
 	h.evictLocked(e)
 	h.mu.Unlock()
+	h.flushReplication()
 
 	msg := wire.NewWriter(8)
 	msg.U32(uint32(page.Space))
