@@ -1,6 +1,6 @@
 // Command polarvet runs the repository's architectural static analyzers
 // (internal/lint) over the module: nosleep, layering, lockheld, errdrop,
-// pairing, regionescape, verbdeadline, lockorder.
+// pairing, regionescape, verbdeadline, lockorder, fabriccost.
 //
 // Usage:
 //
@@ -8,13 +8,17 @@
 //	go run ./cmd/polarvet ./internal/engine ./internal/cluster/...
 //	go run ./cmd/polarvet -json findings.json ./...
 //	go run ./cmd/polarvet -github -lockgraph lockgraph.dot ./...
+//	go run ./cmd/polarvet -fabricreport fabric.json -fabricgraph fabric.dot ./...
 //
 // Exit status: 0 clean, 1 findings, 2 load/usage failure. -json FILE
 // writes findings as a JSON array (machine-readable, stable order; "-"
 // means stdout); -github prints GitHub Actions workflow annotations so
 // findings appear inline on pull-request diffs; -lockgraph FILE dumps
 // the module's lock classes and observed acquisition orderings as
-// Graphviz DOT ("-" means stdout). All requested outputs are written
+// Graphviz DOT ("-" means stdout); -fabricreport FILE dumps every
+// fabric-issuing function's round-trip cost summary (verbs, loop
+// multiplicity, declared budget) as JSON, and -fabricgraph FILE the
+// same call graph as Graphviz DOT. All requested outputs are written
 // before the process exits, findings or not. Suppress an individual
 // finding with an adjacent
 //
@@ -51,6 +55,8 @@ func main() {
 	jsonOut := flag.String("json", "", "write findings as a JSON array to `file` (\"-\" = stdout)")
 	asGitHub := flag.Bool("github", false, "print findings as GitHub Actions annotations")
 	lockgraph := flag.String("lockgraph", "", "write the lock acquisition-order graph as Graphviz DOT to `file` (\"-\" = stdout)")
+	fabricreport := flag.String("fabricreport", "", "write per-function fabric-cost summaries as JSON to `file` (\"-\" = stdout)")
+	fabricgraph := flag.String("fabricgraph", "", "write the fabric-cost call graph as Graphviz DOT to `file` (\"-\" = stdout)")
 	flag.Parse()
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -103,6 +109,30 @@ func main() {
 		if err := writeOutput(*lockgraph, []byte(g.DOT())); err != nil {
 			fmt.Fprintln(os.Stderr, "polarvet:", err)
 			os.Exit(2)
+		}
+	}
+	if *fabricreport != "" || *fabricgraph != "" {
+		rep, err := lint.BuildFabricReport(mod, patterns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polarvet:", err)
+			os.Exit(2)
+		}
+		if *fabricreport != "" {
+			buf, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "polarvet:", err)
+				os.Exit(2)
+			}
+			if err := writeOutput(*fabricreport, append(buf, '\n')); err != nil {
+				fmt.Fprintln(os.Stderr, "polarvet:", err)
+				os.Exit(2)
+			}
+		}
+		if *fabricgraph != "" {
+			if err := writeOutput(*fabricgraph, []byte(rep.DOT())); err != nil {
+				fmt.Fprintln(os.Stderr, "polarvet:", err)
+				os.Exit(2)
+			}
 		}
 	}
 	if *jsonOut != "" {

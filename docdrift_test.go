@@ -154,3 +154,72 @@ func TestLockClassesDocDrift(t *testing.T) {
 		t.Errorf("DESIGN.md's lock-class table lists %q, which the analyzer no longer discovers", c)
 	}
 }
+
+// fabricBudgetRow matches one row of DESIGN.md's fabric-budget table:
+// the backticked function name and the backticked budget level.
+var fabricBudgetRow = regexp.MustCompile("(?m)^\\| `([^`]+)` \\| `([^`]+)` \\|")
+
+// TestFabricBudgetsDocDrift pins DESIGN.md's "Declared fabric budgets"
+// table to the fabriccost analyzer: the documented (function, budget)
+// pairs must equal the //polarvet:fabric directives discovered in the
+// module. A budget added or retuned in code must be reflected here; a
+// removed directive must leave the table.
+func TestFabricBudgetsDocDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo analysis skipped in -short mode")
+	}
+	doc, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	begin := strings.Index(text, "<!-- fabricbudgets:begin -->")
+	end := strings.Index(text, "<!-- fabricbudgets:end -->")
+	if begin < 0 || end < begin {
+		t.Fatal("DESIGN.md has no <!-- fabricbudgets:begin/end --> table")
+	}
+	section := text[begin:end]
+
+	documented := map[string]string{} // function -> budget level
+	for _, m := range fabricBudgetRow.FindAllStringSubmatch(section, -1) {
+		documented[m[1]] = m[2]
+	}
+	if len(documented) == 0 {
+		t.Fatal("no fabric budgets found in DESIGN.md's table")
+	}
+
+	mod, err := lint.LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := lint.BuildFabricReport(mod, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared := map[string]string{}
+	for _, f := range rep.Functions {
+		if f.Budget != "" {
+			declared[f.Function] = f.Budget
+		}
+	}
+	for fn, level := range declared {
+		doc, ok := documented[fn]
+		if !ok {
+			t.Errorf("%s declares //polarvet:fabric %s but is missing from DESIGN.md's fabric-budget table", fn, level)
+			continue
+		}
+		if doc != level {
+			t.Errorf("%s: DESIGN.md documents budget %s, code declares %s", fn, doc, level)
+		}
+	}
+	var stale []string
+	for fn := range documented {
+		if _, ok := declared[fn]; !ok {
+			stale = append(stale, fn)
+		}
+	}
+	sort.Strings(stale)
+	for _, fn := range stale {
+		t.Errorf("DESIGN.md's fabric-budget table lists %q, which declares no //polarvet:fabric directive", fn)
+	}
+}

@@ -87,6 +87,11 @@ type Config struct {
 	ShipInterval time.Duration
 	// CheckpointInterval drives coverage sync + redo truncation (0 = off).
 	CheckpointInterval time.Duration
+	// FlushPageTimeout bounds an RO node's eng.flushpage request to the
+	// RW (asking it to write a stale page back to remote memory).
+	FlushPageTimeout time.Duration
+	// ViewTimeout bounds an RO node's read-view RPC to the RW at BeginRO.
+	ViewTimeout time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -104,6 +109,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.ROMode == 0 && c.ReadOnly {
 		c.ROMode = btree.Optimistic
+	}
+	if c.FlushPageTimeout == 0 {
+		c.FlushPageTimeout = 2 * time.Second
+	}
+	if c.ViewTimeout == 0 {
+		c.ViewTimeout = 2 * time.Second
 	}
 }
 
@@ -355,6 +366,7 @@ func (e *Engine) ScanGuard() func() {
 
 // Fetch returns a pinned frame with the page's current contents, filling
 // the local cache from remote memory or storage on a miss.
+//polarvet:fabric O(1) the page-fetch path is a bounded number of round trips (register, PIB probe, one-sided page read) regardless of pool size
 func (e *Engine) Fetch(id types.PageID) (*cache.Frame, error) {
 	for {
 		if f := e.cache.Get(id); f != nil {
@@ -515,7 +527,7 @@ func (e *Engine) requestRWFlush(id types.PageID) (bool, error) {
 	req := make([]byte, 8)
 	binary.LittleEndian.PutUint32(req[0:], uint32(id.Space))
 	binary.LittleEndian.PutUint32(req[4:], uint32(id.No))
-	resp, err := e.ep.CallTimeout(e.cfg.RWNode, "eng.flushpage", req, 2*time.Second)
+	resp, err := e.ep.CallTimeout(e.cfg.RWNode, "eng.flushpage", req, e.cfg.FlushPageTimeout)
 	if err != nil {
 		return false, err
 	}
@@ -716,19 +728,21 @@ var _ btree.Mtr = (*Mtr)(nil)
 // Commit runs the §3.1.4 pipeline: invalidate every modified page's other
 // copies, then append the MTR's redo to the log buffer, stamp the frames'
 // page LSNs, and release the pins. Returns the MTR's end LSN (0 if empty).
+//polarvet:fabric O(n) invalidation is one batched RPC, but releasing the SMO's deferred global latches is one one-sided CAS per latched frame
 func (mt *Mtr) Commit() (types.LSN, error) {
 	if mt.m.Empty() {
 		mt.release()
 		return 0, nil
 	}
 	if mt.e.pool != nil {
-		for _, p := range mt.m.Pages() {
-			if err := mt.e.pool.Invalidate(p); err != nil {
-				// Invalidation must succeed for coherency; a failure means
-				// the home is gone and the node must stop modifying.
-				mt.release()
-				return 0, fmt.Errorf("engine: page_invalidate %s: %w", p, err)
-			}
+		// One batched page_invalidate round trip for the whole MTR: the
+		// home fans the list out once per distinct holder instead of once
+		// per (page, holder) pair.
+		if err := mt.e.pool.InvalidateBatch(mt.m.Pages()); err != nil {
+			// Invalidation must succeed for coherency; a failure means
+			// the home is gone and the node must stop modifying.
+			mt.release()
+			return 0, fmt.Errorf("engine: page_invalidate: %w", err)
 		}
 	}
 	end := mt.e.buf.Append(mt.m)

@@ -66,6 +66,7 @@ func (e *Engine) Begin() (*Txn, error) {
 // BeginRO starts a read-only transaction: on the RW a local snapshot, on
 // an RO node a read-view RPC to the RW (the per-record visibility checks
 // then use one-sided CTS log reads only).
+//polarvet:fabric O(1) at most one read-view RPC to the RW, independent of snapshot size
 func (e *Engine) BeginRO() (*Txn, error) {
 	if !e.cfg.ReadOnly {
 		e.activeMu.Lock()
@@ -78,7 +79,7 @@ func (e *Engine) BeginRO() (*Txn, error) {
 		e.roViewsMu.Unlock()
 		return t, nil
 	}
-	resp, err := e.ep.CallTimeout(e.cfg.RWNode, txn.ViewRPCMethod, nil, 2*time.Second)
+	resp, err := e.ep.CallTimeout(e.cfg.RWNode, txn.ViewRPCMethod, nil, e.cfg.ViewTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("engine: read view from RW: %w", err)
 	}
@@ -102,6 +103,7 @@ func (e *Engine) activeListLocked() []types.TrxID {
 func (t *Txn) ID() types.TrxID { return t.id }
 
 // lookupCTS resolves commit status: locally on the RW, one-sided on ROs.
+//polarvet:fabric O(1) visibility checks ride one one-sided CTS slot read; an RPC here would put the RW's CPU on every RO read path
 func (e *Engine) lookupCTS(trx types.TrxID) (types.Timestamp, bool, error) {
 	if !e.cfg.ReadOnly {
 		cts, known := e.cts.Lookup(trx)
@@ -794,12 +796,11 @@ func (e *Engine) PurgeTombstones(tbl *Table) (int, error) {
 			if rec, derr := txn.UnmarshalRecord(raw); derr == nil &&
 				rec.Tombstone && rec.CTS != 0 && rec.CTS < horizon {
 				mt := e.BeginMtr()
-				if err := tbl.Primary.Delete(mt, k); err == nil {
-					if _, err := mt.Commit(); err == nil {
-						purged++
-					}
-				} else {
-					_, _ = mt.Commit()
+				delErr := tbl.Primary.Delete(mt, k)
+				// Commit releases the MTR's pins even when the delete failed.
+				//polarvet:allow fabriccost each tombstone is purged in its own MTR because the row lock is re-checked per key; batching purges would hold row locks across the whole victim list
+				if _, err := mt.Commit(); err == nil && delErr == nil {
+					purged++
 				}
 			}
 		}

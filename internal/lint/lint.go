@@ -24,6 +24,11 @@
 //     reports cycles in the global lock-acquisition order (potential
 //     deadlocks) and fabric verbs reached while a node-local latch class
 //     is held through any call path
+//   - fabriccost (fabriccost.go): a whole-module fabric-cost analysis —
+//     per-function verb summaries with CFG-derived loop multiplicity,
+//     propagated over the call graph — that reports loop-carried RPC
+//     fan-out, RPCs convertible to one-sided verbs, and violations of
+//     declared //polarvet:fabric round-trip budgets
 //
 // The flow-sensitive analyzers share the CFG builder in cfg.go; pairing
 // and verbdeadline additionally consume cross-package summaries, so an
@@ -76,7 +81,7 @@ type ModuleAnalyzer interface {
 
 // Analyzers returns the full analyzer set, in reporting order.
 func Analyzers() []Analyzer {
-	return []Analyzer{NoSleep{}, Layering{}, LockHeld{}, ErrDrop{}, Pairing{}, RegionEscape{}, VerbDeadline{}, LockOrder{}}
+	return []Analyzer{NoSleep{}, Layering{}, LockHeld{}, ErrDrop{}, Pairing{}, RegionEscape{}, VerbDeadline{}, LockOrder{}, FabricCost{}}
 }
 
 // Run loads every package matching patterns and applies the analyzers,

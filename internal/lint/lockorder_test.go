@@ -416,6 +416,9 @@ func TestPolarvetTimeBudget(t *testing.T) {
 	if _, err := BuildLockGraph(mod, []string{"./..."}); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := BuildFabricReport(mod, []string{"./..."}); err != nil {
+		t.Fatal(err)
+	}
 	if d := time.Since(start); d > budget {
 		t.Fatalf("full-module polarvet run took %v, budget %v", d, budget)
 	}

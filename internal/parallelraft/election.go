@@ -108,6 +108,7 @@ func (r *Replica) sendCatchup(peer rdma.NodeID, from uint64) {
 	r.mu.Unlock()
 	for _, e := range entries {
 		req := r.buildAppendReq(e, term)
+		//polarvet:allow fabriccost ParallelRaft appends are deliberately one RPC per entry so out-of-order acks can complete holes independently (§4 of the PolarFS paper)
 		resp, err := r.ep.Call(peer, r.method("append"), req)
 		if err != nil {
 			return
@@ -170,6 +171,7 @@ func (r *Replica) startElection() {
 		if p == r.ep.ID() {
 			continue
 		}
+		//polarvet:allow fabriccost a vote request must reach every peer individually; quorum fan-out is the protocol, not an accident
 		resp, err := r.ep.CallTimeout(p, r.method("vote"), req, r.cfg.ElectionTimeout)
 		if err != nil {
 			continue
@@ -238,6 +240,7 @@ func (r *Replica) mergeStage(term, clusterMax uint64) {
 			w := wire.NewWriter(16)
 			w.U64(idx)
 			w.U64(idx + 1)
+			//polarvet:allow fabriccost hole repair asks each peer in turn for the missing entry and stops at the first holder
 			resp, err := r.ep.CallTimeout(p, r.method("fetch"), w.Bytes(), r.cfg.ElectionTimeout)
 			if err != nil {
 				continue

@@ -178,6 +178,7 @@ func (c *Client) ShipRecords(recs []plog.Record, coverage types.LSN) error {
 		byPart[p] = append(byPart[p], r)
 	}
 	for p, batch := range byPart {
+		//polarvet:allow fabriccost already batched per destination: one AddRecords RPC carries a partition's whole record batch
 		if err := c.AddRecords(p, batch, coverage); err != nil {
 			return err
 		}

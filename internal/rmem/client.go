@@ -44,22 +44,24 @@ type poolMetrics struct {
 	unregister *stat.Counter // page_unregister round trips
 	pageRead   *stat.Counter // one-sided page_read verbs
 	pageWrite  *stat.Counter // one-sided page_write verbs
-	pibCheck   *stat.Counter // one-sided PIB staleness probes
-	invSent    *stat.Counter // page_invalidate calls issued (RW)
-	invRecv    *stat.Counter // invalidation callbacks received
-	slabFail   *stat.Counter // pages reported lost to slab crashes
+	pibCheck     *stat.Counter // one-sided PIB staleness probes
+	invSent      *stat.Counter // page_invalidate round trips issued (RW); one per batch
+	invSentPages *stat.Counter // pages carried by those batches
+	invRecv      *stat.Counter // invalidation callbacks received; one per batch
+	slabFail     *stat.Counter // pages reported lost to slab crashes
 }
 
 func newPoolMetrics(r *stat.Registry) poolMetrics {
 	return poolMetrics{
-		register:   r.Counter("rmem.register.ops"),
-		unregister: r.Counter("rmem.unregister.ops"),
-		pageRead:   r.Counter("rmem.page_read.ops"),
-		pageWrite:  r.Counter("rmem.page_write.ops"),
-		pibCheck:   r.Counter("rmem.pib_check.ops"),
-		invSent:    r.Counter("rmem.invalidate.sent"),
-		invRecv:    r.Counter("rmem.invalidate.recv"),
-		slabFail:   r.Counter("rmem.slabfail.pages"),
+		register:     r.Counter("rmem.register.ops"),
+		unregister:   r.Counter("rmem.unregister.ops"),
+		pageRead:     r.Counter("rmem.page_read.ops"),
+		pageWrite:    r.Counter("rmem.page_write.ops"),
+		pibCheck:     r.Counter("rmem.pib_check.ops"),
+		invSent:      r.Counter("rmem.invalidate.sent"),
+		invSentPages: r.Counter("rmem.invalidate.sent_pages"),
+		invRecv:      r.Counter("rmem.invalidate.recv"),
+		slabFail:     r.Counter("rmem.slabfail.pages"),
 	}
 }
 
@@ -68,6 +70,7 @@ func newPoolMetrics(r *stat.Registry) poolMetrics {
 func NewPool(ep *rdma.Endpoint, cfg Config, home rdma.NodeID) (*Pool, error) {
 	cfg.applyDefaults()
 	p := &Pool{ep: ep, cfg: cfg, met: newPoolMetrics(ep.Metrics()), home: home}
+	//polarvet:allow fabriccost the hello handshake allocates this node's owner index in the home's directory; server-side state assignment cannot be a one-sided read
 	resp, err := ep.Call(home, cfg.method("hello"), nil)
 	if err != nil {
 		return nil, fmt.Errorf("rmem: connecting to home %s: %w", home, err)
@@ -196,6 +199,7 @@ func (p *Pool) WritePage(data rdma.Addr, buf []byte, pib rdma.Addr) error {
 
 // PIBStale reads the page's home PIB word with a one-sided read: true
 // means the remote copy is outdated (the RW holds a newer local version).
+//polarvet:fabric O(1) exactly one one-sided load of the PIB word
 func (p *Pool) PIBStale(pib rdma.Addr) (bool, error) {
 	p.met.pibCheck.Inc()
 	v, err := p.ep.Load64(pib)
@@ -205,11 +209,31 @@ func (p *Pool) PIBStale(pib rdma.Addr) (bool, error) {
 	return v != pibFresh, nil
 }
 
-// Invalidate implements page_invalidate (RW only): synchronously mark all
-// copies of the page stale, on the home and on every RO local cache.
+// Invalidate implements page_invalidate (RW only) for a single page:
+// synchronously mark all copies stale, on the home and on every RO local
+// cache.
 func (p *Pool) Invalidate(page types.PageID) error {
+	return p.InvalidateBatch([]types.PageID{page})
+}
+
+// InvalidateBatch implements page_invalidate for every page an MTR wrote,
+// in one round trip: the home sets each page's PIB bit and notifies each
+// holder once with its whole affected-page list, so the per-commit
+// coherence cost is O(distinct holders), not O(pages × holders).
+//polarvet:fabric O(1) one batched page_invalidate round trip per call
+func (p *Pool) InvalidateBatch(pages []types.PageID) error {
+	if len(pages) == 0 {
+		return nil
+	}
 	p.met.invSent.Inc()
-	_, err := p.ep.Call(p.Home(), p.cfg.method("inv"), p.pageReq(page))
+	p.met.invSentPages.Add(uint64(len(pages)))
+	w := wire.NewWriter(4 + 8*len(pages))
+	w.U32(uint32(len(pages)))
+	for _, pg := range pages {
+		w.U32(uint32(pg.Space))
+		w.U32(uint32(pg.No))
+	}
+	_, err := p.ep.Call(p.Home(), p.cfg.method("inv"), w.Bytes())
 	return err
 }
 
@@ -222,15 +246,22 @@ func (p *Pool) ReleaseNodeLatches(node rdma.NodeID) error {
 	return err
 }
 
+// handleInvalidateCB serves the home's batched invalidation callback:
+// count + page ids, every page this node holds that the commit stalled.
 func (p *Pool) handleInvalidateCB(from rdma.NodeID, req []byte) ([]byte, error) {
 	rd := wire.NewReader(req)
-	page := types.PageID{Space: types.SpaceID(rd.U32()), No: types.PageNo(rd.U32())}
+	pages := make([]types.PageID, int(rd.U32()))
+	for i := range pages {
+		pages[i] = types.PageID{Space: types.SpaceID(rd.U32()), No: types.PageNo(rd.U32())}
+	}
 	if err := rd.Err(); err != nil {
 		return nil, err
 	}
 	p.met.invRecv.Inc()
 	if p.invalidateFn != nil {
-		p.invalidateFn(page)
+		for _, page := range pages {
+			p.invalidateFn(page)
+		}
 	}
 	return nil, nil
 }

@@ -170,6 +170,7 @@ func (h *Home) slabHeartbeat() {
 			if n == h.ep.ID() {
 				continue // the home's own slabs share its fate
 			}
+			//polarvet:allow fabriccost liveness probes are inherently one per slab node per tick; batching across destinations is impossible
 			if _, err := h.ep.CallTimeout(n, h.cfg.method("slab.ping"), nil, h.cfg.SlabHeartbeat); err != nil {
 				misses[n]++
 				if misses[n] >= h.cfg.SlabHeartbeatMisses {
@@ -298,6 +299,7 @@ func (h *Home) AddSlab(node rdma.NodeID, pages int) (int, error) {
 	}
 	w := wire.NewWriter(8)
 	w.U32(uint32(pages))
+	//polarvet:allow fabriccost slab.create mutates the slab node's allocator (mmap + region registration); the response layout is fixed but the work is remote-CPU by nature
 	resp, err := h.ep.Call(node, h.cfg.method("slab.create"), w.Bytes())
 	if err != nil {
 		return 0, fmt.Errorf("rmem: creating slab on %s: %w", node, err)
@@ -485,20 +487,7 @@ func (h *Home) Shrink(targetSlots int) (int, error) {
 		}
 		h.removeSlabLocked(victim.key)
 		h.mu.Unlock()
-		for n, pages := range holders {
-			if h.isKicked(n) {
-				continue
-			}
-			w := wire.NewWriter(8 * len(pages))
-			w.U32(uint32(len(pages)))
-			for _, pg := range pages {
-				w.U32(uint32(pg.Space))
-				w.U32(uint32(pg.No))
-			}
-			if _, err := h.ep.CallTimeout(n, h.cfg.method("cb.slabfail"), w.Bytes(), h.cfg.InvalidateTimeout); err != nil {
-				h.kickNode(n)
-			}
-		}
+		h.notifyHolders("cb.slabfail", holders)
 		h.mu.Lock()
 	}
 	t := total()
@@ -521,7 +510,7 @@ func (h *Home) removeSlabLocked(key slabKey) {
 		w := wire.NewWriter(8)
 		w.U32(key.region)
 		//polarvet:allow errdrop best-effort free to a possibly-dead slab node; its memory dies with it and the PAT no longer references the region
-		_, _ = h.ep.Call(key.node, h.cfg.method("slab.free"), w.Bytes())
+		_, _ = h.ep.Call(key.node, h.cfg.method("slab.free"), w.Bytes()) //polarvet:allow fabriccost slab.free tears down the slab node's allocator state; a one-sided write cannot unregister a region
 	}()
 	h.replicate(replFreeSlab(key.node, key.region))
 }
@@ -734,66 +723,47 @@ func (h *Home) handleUnregister(from rdma.NodeID, req []byte) ([]byte, error) {
 	return nil, nil
 }
 
-// handleInvalidate implements page_invalidate (§3.1.4, Figure 6): set the
-// home PIB bit, look up the PRD, and synchronously set the local PIB bit
-// on every other node holding a copy. Unresponsive nodes are kicked so the
-// invalidation always completes.
+// handleInvalidate implements page_invalidate (§3.1.4, Figure 6) for a
+// batch of pages: set the home PIB bit on each, look up the PRDs, and
+// synchronously set the local PIB bits on every other node holding a
+// copy. The callbacks are grouped per destination node — one cb.inv RPC
+// carries every invalidated page a holder references, so an MTR commit
+// costs one round trip per distinct holder instead of one per
+// (page, holder) pair. Unresponsive nodes are kicked so the invalidation
+// always completes.
 func (h *Home) handleInvalidate(from rdma.NodeID, req []byte) ([]byte, error) {
 	if err := h.activeErr(); err != nil {
 		return nil, err
 	}
 	rd := wire.NewReader(req)
-	page := types.PageID{Space: types.SpaceID(rd.U32()), No: types.PageNo(rd.U32())}
+	pages := make([]types.PageID, int(rd.U32()))
+	for i := range pages {
+		pages[i] = types.PageID{Space: types.SpaceID(rd.U32()), No: types.PageNo(rd.U32())}
+	}
 	if err := rd.Err(); err != nil {
 		return nil, err
 	}
 	defer h.flushReplication()
 	h.mu.Lock()
-	e, ok := h.pat[page.Key()]
-	if !ok {
-		h.mu.Unlock()
-		return nil, nil // not cached remotely: nothing to invalidate
-	}
-	h.stats.Invalidations++
-	h.met.invalidations.Inc()
-	h.meta.MustStore64Local(e.slotOff+8, pibStale)
-	targets := make([]rdma.NodeID, 0, len(e.refs))
-	for n := range e.refs {
-		if n != from {
-			targets = append(targets, n)
+	holders := map[rdma.NodeID][]types.PageID{}
+	for _, page := range pages {
+		e, ok := h.pat[page.Key()]
+		if !ok {
+			continue // not cached remotely: nothing to invalidate
 		}
+		h.stats.Invalidations++
+		h.met.invalidations.Inc()
+		h.meta.MustStore64Local(e.slotOff+8, pibStale)
+		for n := range e.refs {
+			if n != from {
+				holders[n] = append(holders[n], page)
+			}
+		}
+		h.replicate(replInvalidate(page))
 	}
 	h.mu.Unlock()
-	h.replicate(replInvalidate(page))
-	h.met.invFanout.Add(uint64(len(targets)))
-
-	msg := wire.NewWriter(8)
-	msg.U32(uint32(page.Space))
-	msg.U32(uint32(page.No))
-	var kicked []rdma.NodeID
-	for _, n := range targets {
-		_, err := h.ep.CallTimeout(n, h.cfg.method("cb.inv"), msg.Bytes(), h.cfg.InvalidateTimeout)
-		if err != nil {
-			kicked = append(kicked, n)
-		}
-	}
-	if len(kicked) > 0 {
-		h.mu.Lock()
-		for _, n := range kicked {
-			for _, pe := range h.pat {
-				delete(pe.refs, n)
-				if len(pe.refs) == 0 && pe.lruElem == nil {
-					pe.lruElem = h.lru.PushBack(pe)
-				}
-			}
-		}
-		h.mu.Unlock()
-		if h.cfg.OnUnresponsive != nil {
-			for _, n := range kicked {
-				h.cfg.OnUnresponsive(n)
-			}
-		}
-	}
+	h.met.invFanout.Add(uint64(len(holders)))
+	h.notifyHolders("cb.inv", holders)
 	return nil, nil
 }
 
@@ -838,19 +808,6 @@ func (h *Home) HandleSlabFailure(node rdma.NodeID) {
 	}
 	h.mu.Unlock()
 	h.flushReplication()
-	for n, pages := range holders {
-		if h.isKicked(n) {
-			continue
-		}
-		w := wire.NewWriter(8 * len(pages))
-		w.U32(uint32(len(pages)))
-		for _, p := range pages {
-			w.U32(uint32(p.Space))
-			w.U32(uint32(p.No))
-		}
-		if _, err := h.ep.CallTimeout(n, h.cfg.method("cb.slabfail"), w.Bytes(), h.cfg.InvalidateTimeout); err != nil {
-			// An unreachable holder is treated as dead, like the slab node.
-			h.kickNode(n)
-		}
-	}
+	// An unreachable holder is treated as dead, like the slab node.
+	h.notifyHolders("cb.slabfail", holders)
 }

@@ -168,6 +168,65 @@ func TestInvalidationFanOut(t *testing.T) {
 	}
 }
 
+func TestInvalidateBatchSingleRoundTrip(t *testing.T) {
+	tp := newTestPool(t, Config{}, 16)
+	rw := tp.client(t, "rw")
+	ro1 := tp.client(t, "ro1")
+	ro2 := tp.client(t, "ro2")
+
+	var mu sync.Mutex
+	got := map[string][]types.PageID{}
+	for name, c := range map[string]*Pool{"ro1": ro1, "ro2": ro2} {
+		name := name
+		c.OnInvalidate(func(p types.PageID) {
+			mu.Lock()
+			got[name] = append(got[name], p)
+			mu.Unlock()
+		})
+	}
+	const n = 5
+	pages := make([]types.PageID, 0, n)
+	for i := uint32(0); i < n; i++ {
+		pages = append(pages, pid(i))
+		for _, c := range []*Pool{rw, ro1, ro2} {
+			if _, err := c.Register(pid(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// The whole MTR-sized batch must cost one page_invalidate round trip
+	// and one callback per distinct holder — not one per (page, holder).
+	if err := rw.InvalidateBatch(pages); err != nil {
+		t.Fatalf("invalidate batch: %v", err)
+	}
+	met := rw.ep.Metrics()
+	if sent := met.Counter("rmem.invalidate.sent").Load(); sent != 1 {
+		t.Fatalf("invalidate.sent = %d, want 1 round trip for the whole batch", sent)
+	}
+	if sp := met.Counter("rmem.invalidate.sent_pages").Load(); sp != n {
+		t.Fatalf("invalidate.sent_pages = %d, want %d", sp, n)
+	}
+	homeMet := tp.home.ep.Metrics()
+	if fan := homeMet.Counter("rmem.home.inv_fanout").Load(); fan != 2 {
+		t.Fatalf("home.inv_fanout = %d, want 2 (one callback per distinct holder)", fan)
+	}
+	if inv := homeMet.Counter("rmem.home.invalidations").Load(); inv != n {
+		t.Fatalf("home.invalidations = %d, want %d (one per page)", inv, n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, name := range []string{"ro1", "ro2"} {
+		if len(got[name]) != n {
+			t.Fatalf("%s received %d invalidations, want %d", name, len(got[name]), n)
+		}
+	}
+	for _, c := range []*Pool{ro1, ro2} {
+		if recv := c.ep.Metrics().Counter("rmem.invalidate.recv").Load(); recv != 1 {
+			t.Fatalf("invalidate.recv = %d, want 1 batched callback", recv)
+		}
+	}
+}
+
 func TestInvalidateKicksUnresponsiveNode(t *testing.T) {
 	var kicked []rdma.NodeID
 	var mu sync.Mutex

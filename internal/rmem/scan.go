@@ -51,19 +51,9 @@ func (h *Home) ForceEvict(page types.PageID) {
 	h.mu.Unlock()
 	h.flushReplication()
 
-	msg := wire.NewWriter(8)
-	msg.U32(uint32(page.Space))
-	msg.U32(uint32(page.No))
-	for _, n := range holders {
-		if h.isKicked(n) {
-			continue
-		}
-		// Reuse the invalidation callback: holders mark their local copy
-		// stale and will re-register on next access.
-		if _, err := h.ep.CallTimeout(n, h.cfg.method("cb.inv"), msg.Bytes(), h.cfg.InvalidateTimeout); err != nil {
-			h.kickNode(n)
-		}
-	}
+	// Reuse the invalidation callback: holders mark their local copy
+	// stale and will re-register on next access.
+	h.notifyHolders("cb.inv", holdersOf(holders, page))
 }
 
 // DropNodeRefs removes a (dead) node from every page's reference
